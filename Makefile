@@ -1,0 +1,34 @@
+# Convenience targets for the Apollo reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench results quick-results cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure plus overhead/ablation benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+results:
+	$(GO) run ./cmd/apollo-bench -exp all | tee results/full_results.txt
+
+quick-results:
+	$(GO) run ./cmd/apollo-bench -exp all -quick
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,37 @@
+// Command apollo-bench regenerates the tables and figures of the paper's
+// evaluation. Run with -list to see the available experiments; -exp all
+// reproduces the entire evaluation section.
+//
+// Usage:
+//
+//	apollo-bench -exp table2
+//	apollo-bench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apollo/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1, fig2, fig4, table1, table2, fig6-fig13, table3, table4, or all)")
+	quick := flag.Bool("quick", false, "use reduced problem sizes and step counts")
+	seed := flag.Uint64("seed", 0, "noise and cross-validation seed (0 = default)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	r := harness.NewRunner(harness.Options{Out: os.Stdout, Quick: *quick, Seed: *seed})
+	if err := r.Run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "apollo-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDemoEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("LULESH", "sedov", 8, 3, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, artifact := range []string{"training.csv", "policy-model.json", "tuned-trace.json"} {
+		if _, err := os.Stat(filepath.Join(dir, artifact)); err != nil {
+			t.Errorf("artifact %s missing: %v", artifact, err)
+		}
+	}
+}
+
+func TestDemoRejectsUnknownApp(t *testing.T) {
+	if err := run("NoSuchApp", "sedov", 8, 1, t.TempDir(), false); err == nil {
+		t.Error("unknown app accepted")
+	}
+}

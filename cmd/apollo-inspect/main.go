@@ -1,0 +1,72 @@
+// Command apollo-inspect examines a trained model JSON file: its
+// parameter, feature schema, tree structure, feature importances, the
+// rendered decision tree, and (optionally) the generated Go decision
+// function — the artifacts an application team reviews before deploying
+// a model.
+//
+//	apollo-inspect -model policy.json
+//	apollo-inspect -model policy.json -gen -depth 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apollo/internal/codegen"
+	"apollo/internal/core"
+)
+
+func main() {
+	model := flag.String("model", "", "model JSON path (required)")
+	gen := flag.Bool("gen", false, "print the generated Go decision function")
+	depth := flag.Int("depth", 0, "render the tree pruned to this depth (0 = full)")
+	flag.Parse()
+
+	if err := run(*model, *gen, *depth); err != nil {
+		fmt.Fprintln(os.Stderr, "apollo-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, gen bool, depth int) error {
+	if path == "" {
+		return fmt.Errorf("-model is required")
+	}
+	m, err := core.LoadModel(path)
+	if err != nil {
+		return err
+	}
+	tree := m.Tree
+	if depth > 0 {
+		tree = tree.PruneToDepth(depth)
+	}
+
+	fmt.Printf("model:      %s\n", path)
+	fmt.Printf("parameter:  %s (%d classes)\n", m.Param, m.Param.NumClasses())
+	fmt.Printf("features:   %d (%v)\n", m.Schema.Len(), m.Schema.Names())
+	fmt.Printf("tree:       depth %d, %d nodes, %d leaves", tree.Depth(), tree.NumNodes(), tree.NumLeaves())
+	if depth > 0 {
+		fmt.Printf(" (pruned from depth %d)", m.Tree.Depth())
+	}
+	fmt.Println()
+
+	names, imps := m.FeatureRanking()
+	fmt.Println("\nfeature importance:")
+	for i, n := range names {
+		if imps[i] == 0 && i >= 5 {
+			break
+		}
+		fmt.Printf("  %2d. %-16s %.3f\n", i+1, n, imps[i])
+	}
+
+	fmt.Println("\ndecision tree:")
+	fmt.Print(tree.String())
+
+	if gen {
+		pruned := &core.Model{Param: m.Param, Schema: m.Schema, Tree: tree}
+		fmt.Println("\ngenerated Go decision function:")
+		fmt.Print(codegen.Generate(pruned, "tuned", "ApolloBeginForall"))
+	}
+	return nil
+}

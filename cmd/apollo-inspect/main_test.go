@@ -1,0 +1,52 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"apollo/internal/core"
+	"apollo/internal/dataset"
+	"apollo/internal/features"
+)
+
+func savedModel(t *testing.T) string {
+	t.Helper()
+	schema := features.NewSchema(features.NumIndices)
+	frame := dataset.NewFrame(core.RecordColumns(schema)...)
+	for _, n := range []int{10, 100, 1000, 10000} {
+		frame.AddRow([]float64{float64(n), 0, 0, float64(n) * 10})
+		frame.AddRow([]float64{float64(n), 1, 0, 5000 + float64(n)})
+	}
+	set, err := core.Label(frame, schema, core.ExecutionPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Train(set, core.TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInspectRuns(t *testing.T) {
+	path := savedModel(t)
+	if err := run(path, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	if err := run("", false, 0); err == nil {
+		t.Error("missing -model accepted")
+	}
+	if err := run("/nonexistent/model.json", false, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

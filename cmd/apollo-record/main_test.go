@@ -1,0 +1,79 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"apollo/internal/dataset"
+)
+
+func TestRunRecordsCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "samples.csv")
+	if err := run("LULESH", "sedov", 8, 2, "seq_exec", 0, false, 0.05, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := dataset.LoadCSV(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() == 0 {
+		t.Fatal("no samples written")
+	}
+	if f.Col("num_indices") < 0 || f.Col("time_ns") < 0 {
+		t.Error("expected feature and time columns")
+	}
+	// All rows must carry the forced policy.
+	for i := 0; i < f.Len(); i++ {
+		if f.At(i, "policy") != 0 { // seq_exec
+			t.Fatalf("row %d policy = %g, want seq", i, f.At(i, "policy"))
+		}
+	}
+}
+
+func TestRunRecordsJSONL(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "samples.jsonl")
+	if err := run("LULESH", "sedov", 8, 1, "omp_parallel_for_exec", 64, false, 0, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := dataset.LoadJSONL(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() == 0 {
+		t.Fatal("no samples written")
+	}
+	if f.At(0, "chunk") != 64 {
+		t.Error("forced chunk not recorded")
+	}
+}
+
+func TestRunSweepCoversVariants(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sweep.csv")
+	if err := run("LULESH", "sedov", 8, 1, "", 0, true, 0.05, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := dataset.LoadCSV(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[[2]float64]bool{}
+	for i := 0; i < f.Len(); i++ {
+		variants[[2]float64{f.At(i, "policy"), f.At(i, "chunk")}] = true
+	}
+	if len(variants) != 13 {
+		t.Errorf("sweep covered %d variants, want 13", len(variants))
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.csv")
+	if err := run("NoSuchApp", "sedov", 8, 1, "seq_exec", 0, false, 0, 1, out); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run("LULESH", "sedov", 8, 1, "cuda_exec", 0, false, 0, 1, out); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run("LULESH", "nodeck", 8, 1, "seq_exec", 0, false, 0, 1, out); err == nil {
+		t.Error("unknown problem accepted")
+	}
+}

@@ -1,0 +1,137 @@
+// Command apollo-train builds tuning models from recorded training data:
+// it labels each unique feature vector with its fastest variant, fits a
+// decision-tree classifier, reports cross-validation accuracy and feature
+// importance, optionally reduces the model (top-k features, depth cap),
+// and writes the model JSON — loadable by the tuner without recompiling
+// the application — plus, optionally, the generated Go decision function.
+//
+//	apollo-train -data seq.csv,omp.csv -param execution_policy \
+//	    -topk 5 -depth 15 -out policy.json -gen tuned.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"apollo/internal/codegen"
+	"apollo/internal/core"
+	"apollo/internal/dataset"
+	"apollo/internal/dtree"
+	"apollo/internal/features"
+)
+
+func main() {
+	data := flag.String("data", "", "comma-separated training CSV files (required)")
+	param := flag.String("param", "execution_policy", "parameter to model: execution_policy or chunk_size")
+	topK := flag.Int("topk", 0, "reduce to the k most important features (0 = keep all)")
+	depth := flag.Int("depth", 0, "cap tree depth (0 = unlimited)")
+	folds := flag.Int("cv", 10, "cross-validation folds (0 = skip)")
+	seed := flag.Uint64("seed", 1, "cross-validation seed")
+	out := flag.String("out", "model.json", "output model path")
+	gen := flag.String("gen", "", "also write a generated Go decision function to this path")
+	dropDeck := flag.Bool("deck-independent", false, "exclude deck-specific features (problem_name)")
+	flag.Parse()
+
+	if err := run(*data, *param, *topK, *depth, *folds, *seed, *out, *gen, *dropDeck); err != nil {
+		fmt.Fprintln(os.Stderr, "apollo-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data, param string, topK, depth, folds int, seed uint64, out, gen string, dropDeck bool) error {
+	if data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	var frame *dataset.Frame
+	for _, path := range strings.Split(data, ",") {
+		path = strings.TrimSpace(path)
+		var f *dataset.Frame
+		var err error
+		if strings.HasSuffix(path, ".jsonl") {
+			f, err = dataset.LoadJSONL(path)
+		} else {
+			f, err = dataset.LoadCSV(path)
+		}
+		if err != nil {
+			return err
+		}
+		if frame == nil {
+			frame = f
+		} else {
+			frame.Append(f)
+		}
+	}
+	fmt.Printf("loaded %d samples\n", frame.Len())
+
+	var p core.Parameter
+	switch param {
+	case "execution_policy", "policy":
+		p = core.ExecutionPolicy
+	case "chunk_size", "chunk":
+		p = core.ChunkSize
+	default:
+		return fmt.Errorf("unknown parameter %q", param)
+	}
+
+	schema := features.TableI()
+	if dropDeck {
+		schema = schema.Without(features.ProblemName)
+	}
+	set, err := core.Label(frame, schema, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("labeled %d unique launch configurations\n", set.Len())
+
+	cfg := core.TrainConfig{}
+	model, err := core.Train(set, cfg)
+	if err != nil {
+		return err
+	}
+	if topK > 0 || depth > 0 {
+		k := topK
+		if k == 0 {
+			k = schema.Len()
+		}
+		model, err = model.Reduce(set, k, depth, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("reduced model: %d features, depth %d, %d nodes\n",
+			model.Schema.Len(), model.Tree.Depth(), model.Tree.NumNodes())
+	} else {
+		fmt.Printf("model: %d features, depth %d, %d nodes\n",
+			model.Schema.Len(), model.Tree.Depth(), model.Tree.NumNodes())
+	}
+
+	names, imps := model.FeatureRanking()
+	fmt.Println("top features by importance:")
+	for i := 0; i < 5 && i < len(names); i++ {
+		fmt.Printf("  %d. %-16s %.3f\n", i+1, names[i], imps[i])
+	}
+
+	if folds > 1 {
+		cvCfg := core.TrainConfig{Tree: dtree.Config{MaxDepth: depth}}
+		cv, err := core.CrossValidate(set, folds, seed, cvCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d-fold cross-validation:\n%s", folds, cv.Report(p))
+	}
+
+	if err := model.Save(out); err != nil {
+		return err
+	}
+	fmt.Printf("model written to %s\n", out)
+
+	if gen != "" {
+		src := codegen.Generate(model, "tuned", "ApolloBeginForall")
+		if err := os.WriteFile(gen, []byte(src), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("generated decision function written to %s\n", gen)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"apollo/internal/core"
+	"apollo/internal/dataset"
+	"apollo/internal/features"
+	"apollo/internal/raja"
+)
+
+// writeTrainingCSVs fabricates two per-policy training files.
+func writeTrainingCSVs(t *testing.T, dir string) (string, string) {
+	t.Helper()
+	schema := features.TableI()
+	make1 := func(pol raja.Policy, name string) string {
+		frame := dataset.NewFrame(core.RecordColumns(schema)...)
+		ni := schema.Index(features.NumIndices)
+		for _, n := range []int{16, 128, 1024, 8192, 65536} {
+			row := make([]float64, schema.Len()+3)
+			row[ni] = float64(n)
+			row[schema.Len()] = float64(pol)
+			if pol == raja.SeqExec {
+				row[schema.Len()+2] = float64(n) * 10
+			} else {
+				row[schema.Len()+2] = 8000 + float64(n)*10/8
+			}
+			frame.AddRow(row)
+		}
+		path := filepath.Join(dir, name)
+		if err := frame.SaveCSV(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	return make1(raja.SeqExec, "seq.csv"), make1(raja.OmpParallelForExec, "omp.csv")
+}
+
+func TestTrainProducesModelAndCode(t *testing.T) {
+	dir := t.TempDir()
+	seq, omp := writeTrainingCSVs(t, dir)
+	modelPath := filepath.Join(dir, "model.json")
+	genPath := filepath.Join(dir, "tuned.go")
+	err := run(seq+","+omp, "execution_policy", 5, 15, 3, 1, modelPath, genPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.LoadModel(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Param != core.ExecutionPolicy || m.Schema.Len() != 5 {
+		t.Errorf("model wrong: param=%v features=%d", m.Param, m.Schema.Len())
+	}
+	src, err := os.ReadFile(genPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "func ApolloBeginForall(") {
+		t.Error("generated code missing decision function")
+	}
+}
+
+func TestTrainDeckIndependent(t *testing.T) {
+	dir := t.TempDir()
+	seq, omp := writeTrainingCSVs(t, dir)
+	modelPath := filepath.Join(dir, "model.json")
+	if err := run(seq+","+omp, "policy", 0, 0, 0, 1, modelPath, "", true); err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.LoadModel(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema.Has(features.ProblemName) {
+		t.Error("deck-independent model retains problem_name")
+	}
+}
+
+func TestTrainRejectsBadInputs(t *testing.T) {
+	if err := run("", "policy", 0, 0, 0, 1, "x.json", "", false); err == nil {
+		t.Error("missing -data accepted")
+	}
+	dir := t.TempDir()
+	seq, _ := writeTrainingCSVs(t, dir)
+	if err := run(seq, "warp_size", 0, 0, 0, 1, filepath.Join(dir, "m.json"), "", false); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.csv"), "policy", 0, 0, 0, 1, "m.json", "", false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,199 @@
+package apollo_test
+
+// Integration tests across the whole stack: each proxy application is
+// driven through the faithful paper workflow — one recorded run per
+// execution policy, labeling, training, model persistence, generated-code
+// emission, and a tuned re-run that must beat the application's default —
+// using the real per-variant Recorder (not the harness's fast sweep).
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"apollo/internal/app"
+	"apollo/internal/caliper"
+	"apollo/internal/codegen"
+	"apollo/internal/core"
+	"apollo/internal/dataset"
+	"apollo/internal/features"
+	"apollo/internal/harness"
+	"apollo/internal/platform"
+	"apollo/internal/raja"
+	"apollo/internal/tuner"
+)
+
+// integrationCase picks a small configuration per application.
+var integrationCases = []struct {
+	app     string
+	problem string
+	size    int
+	steps   int
+}{
+	{"LULESH", "sedov", 10, 5},
+	{"CleverLeaf", "sod", 32, 6},
+	{"ARES", "jet", 32, 5},
+}
+
+func descFor(t *testing.T, name string) app.Descriptor {
+	t.Helper()
+	for _, d := range harness.Apps() {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("unknown app %s", name)
+	return app.Descriptor{}
+}
+
+func TestFullWorkflowPerApplication(t *testing.T) {
+	schema := features.TableI()
+	machine := platform.SandyBridgeNode()
+	for _, tc := range integrationCases {
+		tc := tc
+		t.Run(tc.app, func(t *testing.T) {
+			desc := descFor(t, tc.app)
+
+			// 1. Record: one run per execution policy, as the paper's
+			// training procedure prescribes.
+			all := dataset.NewFrame(core.RecordColumns(schema)...)
+			for _, pol := range []raja.Policy{raja.SeqExec, raja.OmpParallelForExec} {
+				ann := caliper.New()
+				rec := tuner.NewRecorder(schema, ann, raja.Params{Policy: pol})
+				clk := platform.NewSimClock(machine, 0.05, 2)
+				ctx := raja.NewSimContext(clk, desc.DefaultParams)
+				ctx.Hooks = rec
+				sim, err := desc.New(app.Config{Ctx: ctx, Ann: ann, Problem: tc.problem, Size: tc.size})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < tc.steps; i++ {
+					sim.Step()
+				}
+				if rec.Samples() == 0 {
+					t.Fatal("no samples recorded")
+				}
+				all.Append(rec.Frame())
+			}
+
+			// 2. Label + train + reduce to the deployment config.
+			set, err := core.Label(all, schema, core.ExecutionPolicy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := core.Train(set, core.TrainConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			model, err := full.Reduce(set, 5, 15, core.TrainConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc := model.Evaluate(set); acc < 0.85 {
+				t.Errorf("reduced model accuracy %.2f below 0.85", acc)
+			}
+
+			// 3. Persist and reload.
+			path := filepath.Join(t.TempDir(), "model.json")
+			if err := model.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := core.LoadModel(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// 4. The generated decision function must be valid Go.
+			src := codegen.Generate(loaded, "tuned", "ApolloBeginForall")
+			fset := token.NewFileSet()
+			if _, err := parser.ParseFile(fset, "tuned.go", src, 0); err != nil {
+				t.Fatalf("generated code does not parse: %v", err)
+			}
+
+			// 5. Tuned run beats the default configuration.
+			timed := func(hooks raja.Hooks) float64 {
+				ann := caliper.New()
+				clk := platform.NewSimClock(machine, 0, 0)
+				ctx := raja.NewSimContext(clk, desc.DefaultParams)
+				if hooks == nil && desc.NewDefaultHooks != nil {
+					hooks = desc.NewDefaultHooks()
+				}
+				ctx.Hooks = hooks
+				sim, err := desc.New(app.Config{Ctx: ctx, Ann: ann, Problem: tc.problem, Size: tc.size})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < tc.steps; i++ {
+					sim.Step()
+				}
+				return clk.NowNS()
+			}
+			def := timed(nil)
+			ann := caliper.New()
+			tuned := timed(tuner.NewTuner(schema, ann, desc.DefaultParams).UsePolicyModel(loaded))
+			if tuned >= def {
+				t.Errorf("tuned run (%.3gms) did not beat default (%.3gms)", tuned/1e6, def/1e6)
+			}
+		})
+	}
+}
+
+// TestChunkModelWorkflow exercises the second tuning parameter end to
+// end on CleverLeaf: chunk recording across the grid, labeling, and a
+// tuner with both models installed.
+func TestChunkModelWorkflow(t *testing.T) {
+	schema := features.TableI()
+	machine := platform.SandyBridgeNode()
+	desc := descFor(t, "CleverLeaf")
+
+	all := dataset.NewFrame(core.RecordColumns(schema)...)
+	for _, chunk := range []int{1, 16, 128, 1024} {
+		ann := caliper.New()
+		rec := tuner.NewRecorder(schema, ann, raja.Params{Policy: raja.OmpParallelForExec, Chunk: chunk})
+		clk := platform.NewSimClock(machine, 0.02, 4)
+		ctx := raja.NewSimContext(clk, desc.DefaultParams)
+		ctx.Hooks = rec
+		sim, err := desc.New(app.Config{Ctx: ctx, Ann: ann, Problem: "sedov", Size: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			sim.Step()
+		}
+		all.Append(rec.Frame())
+	}
+	// Policy rows are needed too for a realistic frame, but chunk
+	// labeling only uses parallel rows; label directly.
+	set, err := core.Label(all, schema, core.ChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.Train(set, core.TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Param != core.ChunkSize {
+		t.Fatal("wrong parameter")
+	}
+	ann := caliper.New()
+	tn := tuner.NewTuner(schema, ann, raja.Params{Policy: raja.OmpParallelForExec}).UseChunkModel(model)
+	k := raja.NewKernel("integration::chunk", nil)
+	p, _ := tn.Begin(k, raja.NewRange(0, 1024))
+	if core.ChunkClass(p.Chunk) < 0 {
+		t.Errorf("tuned chunk %d not on the training grid", p.Chunk)
+	}
+}
+
+// TestQuickHarnessAll runs the entire experiment suite in quick mode —
+// the same path the benchmark suite and apollo-bench use — as a single
+// integration gate.
+func TestQuickHarnessAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick harness run takes several seconds")
+	}
+	r := harness.NewRunner(harness.Options{Quick: true, Seed: 31})
+	if err := r.Run("all"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,355 @@
+package amr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"apollo/internal/mesh"
+)
+
+func testConfig() Config {
+	return Config{
+		Domain:    mesh.NewBox(0, 0, 32, 32),
+		MaxLevels: 2,
+		Ratio:     2,
+		Ghost:     2,
+		TileSize:  4,
+		Fields:    []string{"rho", "e"},
+	}
+}
+
+func TestNewHierarchyLevel0(t *testing.T) {
+	h := New(testConfig())
+	if h.NumLevels() != 2 {
+		t.Fatalf("levels = %d", h.NumLevels())
+	}
+	if len(h.Level(0)) != 1 {
+		t.Fatalf("level 0 patches = %d, want 1", len(h.Level(0)))
+	}
+	p := h.Level(0)[0]
+	if p.Box != mesh.NewBox(0, 0, 32, 32) || p.Level != 0 {
+		t.Error("level-0 patch wrong")
+	}
+	if p.Field("rho") == nil || p.Field("e") == nil {
+		t.Error("fields missing")
+	}
+}
+
+func TestBaseBlockSplitsLevel0(t *testing.T) {
+	cfg := testConfig()
+	cfg.BaseBlock = 16
+	h := New(cfg)
+	if len(h.Level(0)) != 4 {
+		t.Fatalf("level 0 patches = %d, want 4", len(h.Level(0)))
+	}
+	// The blocks must tile the domain exactly.
+	cells := 0
+	ids := map[int]bool{}
+	for _, p := range h.Level(0) {
+		cells += p.Box.Count()
+		if ids[p.ID] {
+			t.Error("duplicate patch ID")
+		}
+		ids[p.ID] = true
+	}
+	if cells != 32*32 {
+		t.Errorf("blocks cover %d cells, want 1024", cells)
+	}
+}
+
+func TestFieldPanicsOnUnknown(t *testing.T) {
+	h := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown field should panic")
+		}
+	}()
+	h.Level(0)[0].Field("nope")
+}
+
+// tagCenter tags a square region in the middle of the domain.
+func tagCenter(p *Patch, tag func(i, j int)) {
+	for j := 12; j < 20; j++ {
+		for i := 12; i < 20; i++ {
+			if p.Box.Contains(i, j) {
+				tag(i, j)
+			}
+		}
+	}
+}
+
+func TestRegridCreatesFinePatches(t *testing.T) {
+	h := New(testConfig())
+	created := h.Regrid(tagCenter)
+	if created == 0 || len(h.Level(1)) == 0 {
+		t.Fatal("regrid created no fine patches")
+	}
+	fineDomain := h.LevelDomain(1)
+	covered := 0
+	for _, p := range h.Level(1) {
+		if p.Level != 1 {
+			t.Error("fine patch has wrong level")
+		}
+		if !fineDomain.ContainsBox(p.Box) {
+			t.Errorf("fine patch %v escapes domain %v", p.Box, fineDomain)
+		}
+		covered += p.Box.Count()
+	}
+	// The tagged 8x8 coarse region refines to at least 16x16 fine cells.
+	if covered < 16*16 {
+		t.Errorf("fine level covers %d cells, want >= 256", covered)
+	}
+}
+
+func TestRegridProlongsFromCoarse(t *testing.T) {
+	h := New(testConfig())
+	h.Level(0)[0].Field("rho").Fill(7)
+	h.Regrid(tagCenter)
+	for _, p := range h.Level(1) {
+		lo, hi := p.Field("rho").MinMaxInterior()
+		if lo != 7 || hi != 7 {
+			t.Errorf("prolonged rho = [%g,%g], want 7", lo, hi)
+		}
+	}
+}
+
+func TestRegridPreservesOldFineData(t *testing.T) {
+	h := New(testConfig())
+	h.Level(0)[0].Field("rho").Fill(1)
+	h.Regrid(tagCenter)
+	// Write a distinctive value on the fine level.
+	for _, p := range h.Level(1) {
+		p.Field("rho").Fill(42)
+	}
+	// Regrid with the same tags: overlapping data must be copied, not
+	// re-prolonged.
+	h.Regrid(tagCenter)
+	for _, p := range h.Level(1) {
+		lo, hi := p.Field("rho").MinMaxInterior()
+		if lo != 42 || hi != 42 {
+			t.Errorf("old fine data lost: [%g,%g]", lo, hi)
+		}
+	}
+}
+
+func TestRegridEmptyTagsClearsFineLevel(t *testing.T) {
+	h := New(testConfig())
+	h.Regrid(tagCenter)
+	if len(h.Level(1)) == 0 {
+		t.Fatal("setup failed")
+	}
+	h.Regrid(func(p *Patch, tag func(i, j int)) {})
+	if len(h.Level(1)) != 0 {
+		t.Error("untagged regrid should clear the fine level")
+	}
+}
+
+func TestFillGhostsSameLevel(t *testing.T) {
+	cfg := testConfig()
+	cfg.BaseBlock = 16
+	h := New(cfg)
+	// Give each patch a distinct value; ghost cells must pick up the
+	// neighbor's value after the exchange.
+	for k, p := range h.Level(0) {
+		p.Field("rho").Fill(float64(k + 1))
+	}
+	h.FillGhosts(0, []string{"rho"}, nil)
+	// Patch 0 is [0,16)x[0,16); its right ghost at (16, 5) belongs to
+	// patch 1 which holds value 2.
+	p0 := h.Level(0)[0]
+	if got := p0.Field("rho").At(16, 5); got != 2 {
+		t.Errorf("right ghost = %g, want 2", got)
+	}
+	if got := p0.Field("rho").At(5, 16); got != 3 {
+		t.Errorf("top ghost = %g, want 3", got)
+	}
+}
+
+func TestFillGhostsCoarseFine(t *testing.T) {
+	h := New(testConfig())
+	h.Level(0)[0].Field("rho").Fill(5)
+	h.Regrid(tagCenter)
+	for _, p := range h.Level(1) {
+		p.Field("rho").Fill(9)
+	}
+	h.FillGhosts(1, []string{"rho"}, nil)
+	// A ghost cell outside all fine patches but inside the domain must
+	// hold the prolonged coarse value 5.
+	for _, p := range h.Level(1) {
+		g := p.Box.Grow(2)
+		found := false
+		for j := g.Y0; j < g.Y1 && !found; j++ {
+			for i := g.X0; i < g.X1 && !found; i++ {
+				if p.Box.Contains(i, j) || !h.LevelDomain(1).Contains(i, j) {
+					continue
+				}
+				if patchContaining(h.Level(1), i, j) != nil {
+					continue // filled by same-level copy
+				}
+				if got := p.Field("rho").At(i, j); got != 5 {
+					t.Errorf("coarse-fine ghost (%d,%d) = %g, want 5", i, j, got)
+				}
+				found = true
+			}
+		}
+	}
+}
+
+func TestFillGhostsCallsBC(t *testing.T) {
+	h := New(testConfig())
+	called := 0
+	bc := func(p *Patch, field string, f *mesh.Field, domain mesh.Box) {
+		called++
+		if domain != h.LevelDomain(0) {
+			t.Error("wrong domain passed to BC")
+		}
+	}
+	h.FillGhosts(0, []string{"rho", "e"}, bc)
+	if called != 2 {
+		t.Errorf("BC called %d times, want 2 (one per field)", called)
+	}
+}
+
+func TestRestrictAverages(t *testing.T) {
+	h := New(testConfig())
+	h.Level(0)[0].Field("rho").Fill(0)
+	h.Regrid(tagCenter)
+	// Fill fine cells with their fine i coordinate; the coarse value
+	// must be the average of the 2x2 block.
+	for _, p := range h.Level(1) {
+		f := p.Field("rho")
+		for j := p.Box.Y0; j < p.Box.Y1; j++ {
+			for i := p.Box.X0; i < p.Box.X1; i++ {
+				f.Set(i, j, float64(i))
+			}
+		}
+	}
+	h.Restrict(1, []string{"rho"})
+	coarse := h.Level(0)[0].Field("rho")
+	for _, fp := range h.Level(1) {
+		cb := fp.Box.Coarsen(2)
+		for cj := cb.Y0; cj < cb.Y1; cj++ {
+			for ci := cb.X0; ci < cb.X1; ci++ {
+				want := float64(2*ci) + 0.5 // avg of fine columns 2ci, 2ci+1
+				if got := coarse.At(ci, cj); math.Abs(got-want) > 1e-12 {
+					t.Fatalf("restricted (%d,%d) = %g, want %g", ci, cj, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestClusterTilesProducesDisjointCover(t *testing.T) {
+	tw, th := 6, 5
+	tagged := make([]bool, tw*th)
+	pattern := []struct{ x, y int }{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {4, 3}, {4, 4}, {2, 2}}
+	for _, c := range pattern {
+		tagged[c.y*tw+c.x] = true
+	}
+	boxes := clusterTiles(tagged, tw, th)
+	covered := map[[2]int]int{}
+	for _, b := range boxes {
+		for y := b.Y0; y < b.Y1; y++ {
+			for x := b.X0; x < b.X1; x++ {
+				covered[[2]int{x, y}]++
+				if !tagged[y*tw+x] {
+					t.Errorf("box %v covers untagged tile (%d,%d)", b, x, y)
+				}
+			}
+		}
+	}
+	for _, c := range pattern {
+		if covered[[2]int{c.x, c.y}] != 1 {
+			t.Errorf("tile (%d,%d) covered %d times", c.x, c.y, covered[[2]int{c.x, c.y}])
+		}
+	}
+}
+
+func TestLevelDomain(t *testing.T) {
+	h := New(testConfig())
+	if h.LevelDomain(0) != mesh.NewBox(0, 0, 32, 32) {
+		t.Error("level 0 domain wrong")
+	}
+	if h.LevelDomain(1) != mesh.NewBox(0, 0, 64, 64) {
+		t.Error("level 1 domain wrong")
+	}
+}
+
+func TestPatchesAndCounts(t *testing.T) {
+	h := New(testConfig())
+	h.Regrid(tagCenter)
+	if h.NumPatches() != len(h.Patches()) {
+		t.Error("NumPatches inconsistent with Patches")
+	}
+	if h.Patches()[0].Level != 0 {
+		t.Error("Patches should list coarsest first")
+	}
+}
+
+func TestSplitBoxProperty(t *testing.T) {
+	f := func(x0, y0 int8, nxRaw, nyRaw, blockRaw uint8) bool {
+		b := mesh.NewBox(int(x0), int(y0), int(x0)+int(nxRaw)%50+1, int(y0)+int(nyRaw)%50+1)
+		block := int(blockRaw)%20 + 1
+		parts := splitBox(b, block)
+		total := 0
+		for _, p := range parts {
+			if p.Empty() || !b.ContainsBox(p) {
+				return false
+			}
+			if p.NX() > block || p.NY() > block {
+				return false
+			}
+			total += p.Count()
+		}
+		// Disjointness: pairwise non-overlapping and covering.
+		for i := range parts {
+			for j := i + 1; j < len(parts); j++ {
+				if parts[i].Overlaps(parts[j]) {
+					return false
+				}
+			}
+		}
+		return total == b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxBlockCapsPatchSizes(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBlock = 8
+	h := New(cfg)
+	h.Regrid(tagCenter)
+	if len(h.Level(1)) == 0 {
+		t.Fatal("no fine patches")
+	}
+	for _, p := range h.Level(1) {
+		if p.Box.NX() > 8 || p.Box.NY() > 8 {
+			t.Errorf("patch %v exceeds MaxBlock 8", p.Box)
+		}
+	}
+}
+
+func TestRegridDeterministic(t *testing.T) {
+	boxes := func() []mesh.Box {
+		h := New(testConfig())
+		h.Level(0)[0].Field("rho").Fill(1)
+		h.Regrid(tagCenter)
+		var out []mesh.Box
+		for _, p := range h.Level(1) {
+			out = append(out, p.Box)
+		}
+		return out
+	}
+	a, b := boxes(), boxes()
+	if len(a) != len(b) {
+		t.Fatal("regrid patch count nondeterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("patch %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package amr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderASCII draws the hierarchy as a character map, the textual
+// analogue of the mesh-configuration visualizations in the paper's
+// Fig. 12: one character per level-0 cell, '.' for unrefined cells and a
+// patch-identifying letter for cells covered by a fine patch. The width
+// parameter downsamples large domains to at most width columns.
+func (h *Hierarchy) RenderASCII(width int) string {
+	domain := h.cfg.Domain
+	step := 1
+	if width > 0 && domain.NX() > width {
+		step = (domain.NX() + width - 1) / width
+	}
+	var fine []*Patch
+	if h.NumLevels() > 1 {
+		fine = h.Level(1)
+	}
+	letter := func(i, j int) byte {
+		// Map the level-0 cell to fine index space and find its patch.
+		fi, fj := i*h.cfg.Ratio, j*h.cfg.Ratio
+		for idx, p := range fine {
+			if p.Box.Contains(fi, fj) {
+				return byte('a' + idx%26)
+			}
+		}
+		return '.'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "domain %v, %d levels, %d patches (%d fine)\n",
+		domain, h.NumLevels(), h.NumPatches(), len(fine))
+	for j := domain.Y1 - step; j >= domain.Y0; j -= step {
+		for i := domain.X0; i < domain.X1; i += step {
+			b.WriteByte(letter(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderField draws a level-0 field as a character heat map using the
+// given glyph ramp (light to heavy), downsampled to at most width
+// columns. It gives the density-field views of the paper's Fig. 12.
+func (h *Hierarchy) RenderField(name string, width int) string {
+	domain := h.cfg.Domain
+	step := 1
+	if width > 0 && domain.NX() > width {
+		step = (domain.NX() + width - 1) / width
+	}
+	ramp := []byte(" .:-=+*#%@")
+
+	lo, hi := 0.0, 0.0
+	first := true
+	value := func(i, j int) (float64, bool) {
+		p := patchContaining(h.Level(0), i, j)
+		if p == nil {
+			return 0, false
+		}
+		return p.Field(name).At(i, j), true
+	}
+	for j := domain.Y0; j < domain.Y1; j += step {
+		for i := domain.X0; i < domain.X1; i += step {
+			v, ok := value(i, j)
+			if !ok {
+				continue
+			}
+			if first || v < lo {
+				lo = v
+			}
+			if first || v > hi {
+				hi = v
+			}
+			first = false
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on level 0, range [%.3g, %.3g]\n", name, lo, hi)
+	for j := domain.Y1 - step; j >= domain.Y0; j -= step {
+		for i := domain.X0; i < domain.X1; i += step {
+			v, ok := value(i, j)
+			if !ok {
+				b.WriteByte('?')
+				continue
+			}
+			idx := int((v - lo) / span * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CoverageStats summarizes the fine level for reports: patch count, cell
+// count, and the min/max patch sizes — the quantities that drive Apollo's
+// policy decisions.
+func (h *Hierarchy) CoverageStats() (patches, cells, minCells, maxCells int) {
+	if h.NumLevels() < 2 {
+		return 0, 0, 0, 0
+	}
+	for _, p := range h.Level(1) {
+		n := p.Box.Count()
+		cells += n
+		if patches == 0 || n < minCells {
+			minCells = n
+		}
+		if n > maxCells {
+			maxCells = n
+		}
+		patches++
+	}
+	return
+}

@@ -1,0 +1,112 @@
+package amr
+
+import (
+	"strings"
+	"testing"
+
+	"apollo/internal/mesh"
+)
+
+func renderHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h := New(Config{
+		Domain:    mesh.NewBox(0, 0, 16, 16),
+		MaxLevels: 2,
+		Ratio:     2,
+		TileSize:  4,
+		Fields:    []string{"rho"},
+	})
+	h.Level(0)[0].Field("rho").Fill(1)
+	h.Regrid(func(p *Patch, tag func(i, j int)) {
+		for j := 4; j < 8; j++ {
+			for i := 4; i < 8; i++ {
+				tag(i, j)
+			}
+		}
+	})
+	return h
+}
+
+func TestRenderASCIIShape(t *testing.T) {
+	h := renderHierarchy(t)
+	out := h.RenderASCII(0)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header plus 16 rows.
+	if len(lines) != 17 {
+		t.Fatalf("got %d lines, want 17:\n%s", len(lines), out)
+	}
+	for _, l := range lines[1:] {
+		if len(l) != 16 {
+			t.Errorf("row %q has width %d, want 16", l, len(l))
+		}
+	}
+	if !strings.Contains(out, "a") {
+		t.Error("refined region not marked")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("unrefined region not marked")
+	}
+	// Tagged region is in the lower-left; rows render top-down, so the
+	// letters must appear in the later lines.
+	top := strings.Join(lines[1:8], "")
+	if strings.ContainsAny(top, "abcdefgh") {
+		t.Error("refinement rendered in the wrong half (tagged rows render at the bottom)")
+	}
+}
+
+func TestRenderASCIIDownsamples(t *testing.T) {
+	h := renderHierarchy(t)
+	out := h.RenderASCII(8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for _, l := range lines[1:] {
+		if len(l) > 8 {
+			t.Errorf("downsampled row %q wider than 8", l)
+		}
+	}
+}
+
+func TestRenderFieldRamp(t *testing.T) {
+	h := renderHierarchy(t)
+	f := h.Level(0)[0].Field("rho")
+	f.Fill(0)
+	f.Set(8, 8, 10) // a single hot cell
+	out := h.RenderField("rho", 0)
+	if !strings.Contains(out, "@") {
+		t.Errorf("peak glyph missing:\n%s", out)
+	}
+	if !strings.Contains(out, "range [0, 10]") {
+		t.Errorf("range header wrong:\n%s", out)
+	}
+}
+
+func TestRenderFieldUniform(t *testing.T) {
+	h := renderHierarchy(t)
+	h.Level(0)[0].Field("rho").Fill(3)
+	out := h.RenderField("rho", 0)
+	if strings.Contains(out, "?") {
+		t.Error("uniform field rendered holes")
+	}
+}
+
+func TestCoverageStats(t *testing.T) {
+	h := renderHierarchy(t)
+	patches, cells, minC, maxC := h.CoverageStats()
+	if patches != len(h.Level(1)) {
+		t.Errorf("patches = %d", patches)
+	}
+	total := 0
+	for _, p := range h.Level(1) {
+		total += p.Box.Count()
+	}
+	if cells != total {
+		t.Errorf("cells = %d, want %d", cells, total)
+	}
+	if minC > maxC || minC <= 0 {
+		t.Errorf("min %d max %d invalid", minC, maxC)
+	}
+	// Single-level hierarchy reports zeros.
+	flat := New(Config{Domain: mesh.NewBox(0, 0, 4, 4), MaxLevels: 1, Fields: []string{"rho"}})
+	if p, c, _, _ := flat.CoverageStats(); p != 0 || c != 0 {
+		t.Error("single-level stats should be zero")
+	}
+}

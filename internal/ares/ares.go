@@ -1,0 +1,774 @@
+// Package ares is the ARES proxy: an ALE-style multi-physics
+// hydrodynamics application with adaptive mesh refinement and a mixed
+// material capability, standing in for the production code the paper
+// tunes.
+//
+// The proxy reproduces the workload characteristics the paper attributes
+// to ARES:
+//
+//   - a Lagrange-plus-remap update split over many kernels;
+//   - a dynamic mixed-material capability: per-material volume fractions
+//     advect with the flow, and the per-material mixed-cell lists (RAJA
+//     ListSegments) grow as materials mix together during the run;
+//   - additional physics packages (radiation diffusion and conduction)
+//     enabled by the Jet and Hotspot decks, changing the kernel mix per
+//     input problem;
+//   - developer-assigned static execution policies per kernel (the
+//     paper's ARES default is hand-chosen serial/OpenMP per kernel, not
+//     OpenMP everywhere); and
+//   - a large unported remainder: only one physics package of the real
+//     code uses RAJA, so end-to-end speedups are diluted (paper Fig. 11
+//     reports 1.15x). The proxy models the unported remainder as a fixed
+//     per-step cost outside Apollo's control.
+package ares
+
+import (
+	"fmt"
+	"math"
+
+	"apollo/internal/amr"
+	"apollo/internal/app"
+	"apollo/internal/caliper"
+	"apollo/internal/features"
+	"apollo/internal/hydro"
+	"apollo/internal/instmix"
+	"apollo/internal/mesh"
+	"apollo/internal/raja"
+)
+
+// MaxMaterials is the proxy's material capacity.
+const MaxMaterials = 4
+
+// Field names.
+const (
+	FRho  = "density"
+	FMu   = "xmom"
+	FMv   = "ymom"
+	FE    = "energy"
+	FP    = "pressure"
+	FQ    = "artificial_q"
+	FWs   = "wavespeed"
+	FRhoN = "density_new"
+	FMuN  = "xmom_new"
+	FMvN  = "ymom_new"
+	FEN   = "energy_new"
+)
+
+// vfField names the volume-fraction field of material m.
+func vfField(m int) string { return fmt.Sprintf("vof_%d", m) }
+
+func allFields() []string {
+	fs := []string{FRho, FMu, FMv, FE, FP, FQ, FWs, FRhoN, FMuN, FMvN, FEN}
+	for m := 0; m < MaxMaterials; m++ {
+		fs = append(fs, vfField(m), vfField(m)+"_new")
+	}
+	return fs
+}
+
+var conservedFields = []string{FRho, FMu, FMv, FE}
+
+// Kernel launch sites.
+var (
+	kEOS = raja.NewKernel("ares::eos", instmix.NewMix().
+		With(instmix.Movsd, 6).With(instmix.Mulpd, 4).With(instmix.Add, 3).
+		With(instmix.Divsd, 1).With(instmix.Sqrtsd, 1).With(instmix.Mov, 4).
+		With(instmix.Maxsd, 2).With(instmix.Cmp, 1))
+	kCalcDt = raja.NewKernel("ares::calc_dt", instmix.NewMix().
+		With(instmix.Movsd, 5).With(instmix.Divsd, 2).With(instmix.Sqrtsd, 1).
+		With(instmix.Add, 2).With(instmix.Maxsd, 2).With(instmix.Mov, 3))
+	kLagrangeQ = raja.NewKernel("ares::lagrange_q", instmix.NewMix().
+			With(instmix.Movsd, 8).With(instmix.Mulpd, 6).With(instmix.Add, 5).
+			With(instmix.Sub, 3).With(instmix.Maxsd, 2).With(instmix.Cmp, 2).
+			With(instmix.Mov, 5).With(instmix.Jb, 1))
+	kLagrangeAccel = raja.NewKernel("ares::lagrange_accel", instmix.NewMix().
+			With(instmix.Movsd, 6).With(instmix.Mulpd, 4).With(instmix.Add, 4).
+			With(instmix.Mov, 4).With(instmix.Sub, 1))
+	kRemapRhoX = raja.NewKernel("ares::remap_rho_x", remapMix())
+	kRemapMomX = raja.NewKernel("ares::remap_mom_x", remapMix().With(instmix.Mulpd, 4))
+	kRemapEneX = raja.NewKernel("ares::remap_energy_x", remapMix())
+	kRemapRhoY = raja.NewKernel("ares::remap_rho_y", remapMix())
+	kRemapMomY = raja.NewKernel("ares::remap_mom_y", remapMix().With(instmix.Mulpd, 4))
+	kRemapEneY = raja.NewKernel("ares::remap_energy_y", remapMix())
+	kResetX    = raja.NewKernel("ares::remap_reset_x", resetMix())
+	kResetY    = raja.NewKernel("ares::remap_reset_y", resetMix())
+	kAdvecVofX = raja.NewKernel("ares::advec_vof_x", vofMix())
+	kAdvecVofY = raja.NewKernel("ares::advec_vof_y", vofMix())
+	kVofNorm   = raja.NewKernel("ares::vof_normalize", instmix.NewMix().
+			With(instmix.Movsd, 5).With(instmix.Add, 4).With(instmix.Divsd, 1).
+			With(instmix.Mov, 3).With(instmix.Cmp, 1).With(instmix.Jb, 1))
+	kMixRelax = raja.NewKernel("ares::mix_pressure_relax", instmix.NewMix().
+			With(instmix.Movsd, 7).With(instmix.Mulpd, 5).With(instmix.Add, 4).
+			With(instmix.Divsd, 2).With(instmix.Mov, 4).With(instmix.Cmp, 2).
+			With(instmix.Jb, 1))
+	kMatEOS = raja.NewKernel("ares::mat_eos", instmix.NewMix().
+		With(instmix.Movsd, 6).With(instmix.Mulpd, 4).With(instmix.Add, 3).
+		With(instmix.Divsd, 1).With(instmix.Sqrtsd, 1).With(instmix.Mov, 3))
+	kMatUpdate = raja.NewKernel("ares::mat_update", instmix.NewMix().
+			With(instmix.Movsd, 3).With(instmix.Add, 2).With(instmix.Mov, 3).
+			With(instmix.Cmp, 1))
+	kRadDiffusion = raja.NewKernel("ares::rad_diffusion", instmix.NewMix().
+			With(instmix.Movsd, 10).With(instmix.Mulpd, 6).With(instmix.Add, 8).
+			With(instmix.Sub, 2).With(instmix.Mov, 5))
+	kConduction = raja.NewKernel("ares::conduction", instmix.NewMix().
+			With(instmix.Movsd, 10).With(instmix.Mulpd, 5).With(instmix.Add, 7).
+			With(instmix.Sub, 2).With(instmix.Mov, 5))
+	kHaloX = raja.NewKernel("ares::update_halo_x", haloMix())
+	kHaloY = raja.NewKernel("ares::update_halo_y", haloMix())
+
+	// kUnported models the bulk of the production code that has not
+	// been ported to RAJA; Apollo cannot tune it.
+	kUnported = raja.NewKernel("ares::unported_physics", instmix.NewMix().
+			With(instmix.Movsd, 12).With(instmix.Mulpd, 8).With(instmix.Add, 8).
+			With(instmix.Divsd, 2).With(instmix.Mov, 8))
+)
+
+func remapMix() *instmix.Mix {
+	return instmix.NewMix().
+		With(instmix.Movsd, 14).With(instmix.Mulpd, 16).With(instmix.Add, 12).
+		With(instmix.Sub, 6).With(instmix.Divsd, 3).With(instmix.Sqrtsd, 2).
+		With(instmix.Maxsd, 3).With(instmix.Mov, 8).With(instmix.Cmp, 2).
+		With(instmix.Lea, 2)
+}
+
+func resetMix() *instmix.Mix {
+	return instmix.NewMix().
+		With(instmix.Movsd, 8).With(instmix.Mov, 8).With(instmix.Lea, 2)
+}
+
+func vofMix() *instmix.Mix {
+	return instmix.NewMix().
+		With(instmix.Movsd, 8).With(instmix.Mulpd, 4).With(instmix.Add, 4).
+		With(instmix.Sub, 2).With(instmix.Cmp, 2).With(instmix.Jb, 2).
+		With(instmix.Mov, 5)
+}
+
+func haloMix() *instmix.Mix {
+	return instmix.NewMix().
+		With(instmix.Movsd, 2).With(instmix.Mov, 4).With(instmix.Cmp, 2).
+		With(instmix.Jb, 1).With(instmix.Lea, 1)
+}
+
+// DefaultAssignment returns the developer-chosen static policy per kernel
+// — the configuration the paper's ARES speedups are measured against.
+// Large interior kernels were assigned OpenMP; list-driven material
+// kernels, tiny per-material loops, and halo strips were assigned serial.
+func DefaultAssignment() map[string]raja.Params {
+	omp := raja.Params{Policy: raja.OmpParallelForExec}
+	seq := raja.Params{Policy: raja.SeqExec}
+	return map[string]raja.Params{
+		kEOS.Name: omp, kCalcDt.Name: omp,
+		kLagrangeQ.Name: omp, kLagrangeAccel.Name: omp,
+		kRemapRhoX.Name: omp, kRemapMomX.Name: omp, kRemapEneX.Name: omp,
+		kRemapRhoY.Name: omp, kRemapMomY.Name: omp, kRemapEneY.Name: omp,
+		kResetX.Name: omp, kResetY.Name: omp,
+		kAdvecVofX.Name: omp, kAdvecVofY.Name: omp, kVofNorm.Name: omp,
+		kMixRelax.Name: seq, kMatEOS.Name: seq, kMatUpdate.Name: seq,
+		kRadDiffusion.Name: omp, kConduction.Name: omp,
+		kHaloX.Name: seq, kHaloY.Name: seq,
+	}
+}
+
+// StaticHooks applies a fixed per-kernel parameter assignment, standing in
+// for the hand-tuned policy selections of the production code.
+type StaticHooks struct {
+	Assignment map[string]raja.Params
+	Fallback   raja.Params
+}
+
+// Begin returns the kernel's assigned parameters.
+func (h *StaticHooks) Begin(k *raja.Kernel, iset *raja.IndexSet) (raja.Params, bool) {
+	if p, ok := h.Assignment[k.Name]; ok {
+		return p, true
+	}
+	return h.Fallback, true
+}
+
+// End is a no-op.
+func (h *StaticHooks) End(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, elapsedNS float64) {
+}
+
+// Sim is an ARES run.
+type Sim struct {
+	cfg   app.Config
+	deck  hydro.Deck
+	h     *amr.Hierarchy
+	cycle int
+	time  float64
+
+	numMat      int
+	extraPhys   bool // radiation + conduction packages (jet, hotspot)
+	regridEvery int
+
+	// unportedCtx executes the unported remainder outside Apollo's
+	// hooks with a fixed policy.
+	unportedCtx *raja.Context
+}
+
+// Descriptor returns the harness descriptor for ARES.
+func Descriptor() app.Descriptor {
+	return app.Descriptor{
+		Name:          "ARES",
+		Short:         "A",
+		Problems:      []string{"sedov", "jet", "hotspot"},
+		TrainSizes:    []int{32, 48, 64},
+		Steps:         10,
+		DefaultParams: raja.Params{Policy: raja.OmpParallelForExec},
+		NewDefaultHooks: func() raja.Hooks {
+			return &StaticHooks{
+				Assignment: DefaultAssignment(),
+				Fallback:   raja.Params{Policy: raja.OmpParallelForExec},
+			}
+		},
+		New: func(cfg app.Config) (app.Sim, error) { return New(cfg) },
+	}
+}
+
+// New builds an ARES run.
+func New(cfg app.Config) (*Sim, error) {
+	var deck hydro.Deck
+	switch cfg.Problem {
+	case "sedov":
+		deck = hydro.SedovMix() // full mixed-material Sedov, as in the paper
+	case "jet":
+		deck = hydro.Jet()
+	case "hotspot":
+		deck = hydro.Hotspot()
+	default:
+		return nil, fmt.Errorf("ares: unknown problem %q", cfg.Problem)
+	}
+	if cfg.Size < 16 {
+		return nil, fmt.Errorf("ares: size %d too small (min 16)", cfg.Size)
+	}
+	if cfg.Ann == nil {
+		cfg.Ann = caliper.New()
+	}
+	if cfg.Ranks < 1 {
+		cfg.Ranks = 1
+	}
+	base := 32
+	if cfg.Size < base {
+		base = cfg.Size
+	}
+	if cfg.Ranks > 1 {
+		// Distributed runs decompose the base grid so each rank owns
+		// roughly one base block; strong scaling shrinks the blocks.
+		side := int(math.Ceil(math.Sqrt(float64(cfg.Ranks))))
+		base = cfg.Size / side
+		if base < 8 {
+			base = 8
+		}
+	}
+	maxBlock := 0
+	if cfg.Ranks > 1 {
+		// Cap patch sizes so refined work stays divisible across ranks
+		// (SAMRAI's largest-patch-size constraint).
+		maxBlock = base * 2
+	}
+	h := amr.New(amr.Config{
+		Domain:    mesh.NewBox(0, 0, cfg.Size, cfg.Size),
+		MaxLevels: 2,
+		Ratio:     2,
+		Ghost:     2,
+		TileSize:  4,
+		TagBuffer: 1,
+		BaseBlock: base,
+		MaxBlock:  maxBlock,
+		Fields:    allFields(),
+	})
+	s := &Sim{
+		cfg:         cfg,
+		deck:        deck,
+		h:           h,
+		numMat:      deck.NumMaterials,
+		extraPhys:   cfg.Problem == "jet" || cfg.Problem == "hotspot",
+		regridEvery: 4,
+	}
+	s.unportedCtx = &raja.Context{
+		Team:    cfg.Ctx.Team,
+		Sim:     cfg.Ctx.Sim,
+		Default: raja.Params{Policy: raja.OmpParallelForExec},
+	}
+	s.cfg.Ann.SetString(features.ProblemName, deck.Name)
+	s.cfg.Ann.Set(features.ProblemSize, float64(cfg.Size))
+	s.cfg.Ann.Set(features.Timestep, 0)
+	s.cfg.Ann.Set("num_materials", float64(s.numMat))
+
+	s.applyDeck(0)
+	s.regrid()
+	s.applyDeck(1)
+	return s, nil
+}
+
+// applyDeck initializes conserved fields and material volume fractions.
+func (s *Sim) applyDeck(l int) {
+	if l >= s.h.NumLevels() {
+		return
+	}
+	domain := s.h.LevelDomain(l)
+	nx, ny := float64(domain.NX()), float64(domain.NY())
+	for _, p := range s.h.Level(l) {
+		rho, mu, mv, e := p.Field(FRho), p.Field(FMu), p.Field(FMv), p.Field(FE)
+		for j := p.Box.Y0; j < p.Box.Y1; j++ {
+			for i := p.Box.X0; i < p.Box.X1; i++ {
+				x := (float64(i) + 0.5) / nx
+				y := (float64(j) + 0.5) / ny
+				r, u, v, pr, mat := s.deck.Init(x, y)
+				st := hydro.Conserved(r, u, v, pr)
+				rho.Set(i, j, st.Rho)
+				mu.Set(i, j, st.Mu)
+				mv.Set(i, j, st.Mv)
+				e.Set(i, j, st.E)
+				for m := 0; m < MaxMaterials; m++ {
+					vf := 0.0
+					if m == mat {
+						vf = 1.0
+					}
+					p.Field(vfField(m)).Set(i, j, vf)
+				}
+			}
+		}
+	}
+}
+
+// Hierarchy exposes the AMR hierarchy.
+func (s *Sim) Hierarchy() *amr.Hierarchy { return s.h }
+
+// Cycle returns completed steps.
+func (s *Sim) Cycle() int { return s.cycle }
+
+// Time returns simulated time.
+func (s *Sim) Time() float64 { return s.time }
+
+// NumMaterials returns the deck's material count.
+func (s *Sim) NumMaterials() int { return s.numMat }
+
+func (s *Sim) regrid() {
+	s.h.Regrid(func(p *amr.Patch, tag func(i, j int)) {
+		rho, e := p.Field(FRho), p.Field(FE)
+		relGrad := func(f *mesh.Field, i, j int) float64 {
+			c := f.At(i, j)
+			if c <= 0 {
+				return 0
+			}
+			return (math.Abs(f.At(i+1, j)-f.At(i-1, j)) +
+				math.Abs(f.At(i, j+1)-f.At(i, j-1))) / c
+		}
+		for j := p.Box.Y0 + 1; j < p.Box.Y1-1; j++ {
+			for i := p.Box.X0 + 1; i < p.Box.X1-1; i++ {
+				if relGrad(rho, i, j) > 0.2 || relGrad(e, i, j) > 0.4 {
+					tag(i, j)
+				}
+			}
+		}
+	})
+	for idx, p := range s.h.Patches() {
+		p.Rank = idx % s.cfg.Ranks
+	}
+}
+
+func (s *Sim) launch(p *amr.Patch, k *raja.Kernel, iset *raja.IndexSet, body func(i int)) {
+	s.cfg.Ann.Set(features.PatchID, float64(p.ID))
+	s.cfg.Ann.Set("rank", float64(p.Rank))
+	raja.ForAll(s.cfg.Ctx, k, iset, body)
+}
+
+func interiorSet(p *amr.Patch) *raja.IndexSet {
+	return raja.NewRange(0, p.Box.Count())
+}
+
+// Step advances one timestep: Lagrange phase, remap phase, material
+// phase, optional extra physics, and the unported remainder.
+func (s *Sim) Step() {
+	if s.cycle > 0 && s.cycle%s.regridEvery == 0 {
+		s.regrid()
+	}
+	s.cfg.Ann.Set(features.Timestep, float64(s.cycle))
+
+	dt := s.computeDt()
+	for l := 0; l < s.h.NumLevels(); l++ {
+		s.lagrangePhase(l, dt)
+		s.remapPhase(l, dt)
+		s.materialPhase(l, dt)
+		if s.extraPhys {
+			s.extraPhysics(l, dt)
+		}
+	}
+	s.h.Restrict(1, conservedFields)
+	s.unportedPhase()
+	s.time += dt
+	s.cycle++
+}
+
+func (s *Sim) computeDt() float64 {
+	maxSpeed := 0.0
+	for l := 0; l < s.h.NumLevels(); l++ {
+		for _, p := range s.h.Level(l) {
+			s.eos(p)
+			s.calcDt(p)
+			_, hi := p.Field(FWs).MinMaxInterior()
+			if hi > maxSpeed {
+				maxSpeed = hi
+			}
+		}
+	}
+	dxFine := 1.0 / float64(s.h.LevelDomain(s.h.NumLevels()-1).NX())
+	return hydro.Dt(maxSpeed, dxFine)
+}
+
+// exchange fills ghosts and applies physical boundaries through the
+// update_halo strip kernels (width 2, matching the AMR ghost width).
+func (s *Sim) exchange(l int) {
+	s.h.FillGhosts(l, conservedFields, nil)
+	domain := s.h.LevelDomain(l)
+	for _, p := range s.h.Level(l) {
+		s.updateHalo(p, kHaloX, 0, domain)
+		s.updateHalo(p, kHaloY, 1, domain)
+	}
+}
+
+// updateHalo reflects every conserved field at the physical boundary in
+// one direction; the normal momentum flips sign.
+func (s *Sim) updateHalo(p *amr.Patch, k *raja.Kernel, dir int, domain mesh.Box) {
+	b := p.Box
+	var strip int
+	var lo, hi bool
+	if dir == 0 {
+		strip = 2 * b.NY()
+		lo, hi = b.X0 == domain.X0, b.X1 == domain.X1
+	} else {
+		strip = 2 * b.NX()
+		lo, hi = b.Y0 == domain.Y0, b.Y1 == domain.Y1
+	}
+	iset := raja.NewIndexSet()
+	if lo {
+		iset.Push(raja.RangeSegment{Begin: 0, End: strip})
+	}
+	if hi {
+		iset.Push(raja.RangeSegment{Begin: strip, End: 2 * strip})
+	}
+	if iset.Len() == 0 {
+		return
+	}
+	fields := make([]*mesh.Field, len(conservedFields))
+	signs := make([]float64, len(conservedFields))
+	for fi, name := range conservedFields {
+		fields[fi] = p.Field(name)
+		signs[fi] = 1
+		if (name == FMu && dir == 0) || (name == FMv && dir == 1) {
+			signs[fi] = -1
+		}
+	}
+	s.launch(p, k, iset, func(kk int) {
+		side := kk / strip
+		r := kk % strip
+		layer := r / (strip / 2)
+		pos := r % (strip / 2)
+		for fi, f := range fields {
+			if dir == 0 {
+				j := b.Y0 + pos
+				if side == 0 {
+					f.Set(b.X0-1-layer, j, signs[fi]*f.At(b.X0+layer, j))
+				} else {
+					f.Set(b.X1+layer, j, signs[fi]*f.At(b.X1-1-layer, j))
+				}
+			} else {
+				i := b.X0 + pos
+				if side == 0 {
+					f.Set(i, b.Y0-1-layer, signs[fi]*f.At(i, b.Y0+layer))
+				} else {
+					f.Set(i, b.Y1+layer, signs[fi]*f.At(i, b.Y1-1-layer))
+				}
+			}
+		}
+	})
+}
+
+func state(rho, mu, mv, e *mesh.Field, i, j int) hydro.State {
+	return hydro.State{Rho: rho.At(i, j), Mu: mu.At(i, j), Mv: mv.At(i, j), E: e.At(i, j)}
+}
+
+func (s *Sim) eos(p *amr.Patch) {
+	rho, mu, mv, e, pr := p.Field(FRho), p.Field(FMu), p.Field(FMv), p.Field(FE), p.Field(FP)
+	s.launch(p, kEOS, interiorSet(p), func(k int) {
+		i, j := rho.CellOf(k)
+		pr.Set(i, j, hydro.Pressure(state(rho, mu, mv, e, i, j)))
+	})
+}
+
+func (s *Sim) calcDt(p *amr.Patch) {
+	rho, mu, mv, e, ws := p.Field(FRho), p.Field(FMu), p.Field(FMv), p.Field(FE), p.Field(FWs)
+	s.launch(p, kCalcDt, interiorSet(p), func(k int) {
+		i, j := rho.CellOf(k)
+		st := state(rho, mu, mv, e, i, j)
+		ws.Set(i, j, math.Max(hydro.WaveSpeedX(st), hydro.WaveSpeedY(st)))
+	})
+}
+
+// lagrangePhase computes artificial viscosity and applies it as a
+// momentum damping source.
+func (s *Sim) lagrangePhase(l int, dt float64) {
+	s.exchange(l)
+	for _, p := range s.h.Level(l) {
+		rho, mu, mv, q := p.Field(FRho), p.Field(FMu), p.Field(FMv), p.Field(FQ)
+		s.launch(p, kLagrangeQ, interiorSet(p), func(k int) {
+			i, j := rho.CellOf(k)
+			r := math.Max(rho.At(i, j), hydro.RhoFloor)
+			div := (mu.At(i+1, j)-mu.At(i-1, j))/(2*r) + (mv.At(i, j+1)-mv.At(i, j-1))/(2*r)
+			if div < 0 {
+				q.Set(i, j, 0.1*r*div*div)
+			} else {
+				q.Set(i, j, 0)
+			}
+		})
+		s.launch(p, kLagrangeAccel, interiorSet(p), func(k int) {
+			i, j := mu.CellOf(k)
+			damp := 1 / (1 + dt*q.At(i, j))
+			mu.Set(i, j, mu.At(i, j)*damp)
+			mv.Set(i, j, mv.At(i, j)*damp)
+		})
+	}
+}
+
+// remapPhase performs the dimension-split conservative update plus
+// volume-fraction advection.
+func (s *Sim) remapPhase(l int, dt float64) {
+	dx := 1.0 / float64(s.h.LevelDomain(l).NX())
+	lambda := dt / dx
+
+	s.exchange(l)
+	for _, p := range s.h.Level(l) {
+		s.sweep(p, lambda, 0)
+		s.advecVof(p, lambda, 0)
+		s.reset(p, kResetX)
+	}
+	s.exchange(l)
+	for _, p := range s.h.Level(l) {
+		s.sweep(p, lambda, 1)
+		s.advecVof(p, lambda, 1)
+		s.reset(p, kResetY)
+	}
+}
+
+// sweep advances conserved components in direction dir (0 = x, 1 = y).
+func (s *Sim) sweep(p *amr.Patch, lambda float64, dir int) {
+	rho, mu, mv, e := p.Field(FRho), p.Field(FMu), p.Field(FMv), p.Field(FE)
+	rhoN, muN, mvN, eN := p.Field(FRhoN), p.Field(FMuN), p.Field(FMvN), p.Field(FEN)
+	var kRho, kMom, kEne *raja.Kernel
+	var flux func(i, j int) (hydro.State, hydro.State)
+	if dir == 0 {
+		kRho, kMom, kEne = kRemapRhoX, kRemapMomX, kRemapEneX
+		flux = func(i, j int) (hydro.State, hydro.State) {
+			lo := hydro.RusanovX(state(rho, mu, mv, e, i-1, j), state(rho, mu, mv, e, i, j))
+			hi := hydro.RusanovX(state(rho, mu, mv, e, i, j), state(rho, mu, mv, e, i+1, j))
+			return lo, hi
+		}
+	} else {
+		kRho, kMom, kEne = kRemapRhoY, kRemapMomY, kRemapEneY
+		flux = func(i, j int) (hydro.State, hydro.State) {
+			lo := hydro.RusanovY(state(rho, mu, mv, e, i, j-1), state(rho, mu, mv, e, i, j))
+			hi := hydro.RusanovY(state(rho, mu, mv, e, i, j), state(rho, mu, mv, e, i, j+1))
+			return lo, hi
+		}
+	}
+	s.launch(p, kRho, interiorSet(p), func(k int) {
+		i, j := rho.CellOf(k)
+		lo, hi := flux(i, j)
+		rhoN.Set(i, j, math.Max(rho.At(i, j)-lambda*(hi.Rho-lo.Rho), hydro.RhoFloor))
+	})
+	s.launch(p, kMom, interiorSet(p), func(k int) {
+		i, j := rho.CellOf(k)
+		lo, hi := flux(i, j)
+		muN.Set(i, j, mu.At(i, j)-lambda*(hi.Mu-lo.Mu))
+		mvN.Set(i, j, mv.At(i, j)-lambda*(hi.Mv-lo.Mv))
+	})
+	s.launch(p, kEne, interiorSet(p), func(k int) {
+		i, j := rho.CellOf(k)
+		lo, hi := flux(i, j)
+		eN.Set(i, j, math.Max(e.At(i, j)-lambda*(hi.E-lo.E), hydro.PFloor))
+	})
+}
+
+// advecVof advects every material's volume fraction with donor-cell
+// upwinding on the cell velocity, writing the *_new vof fields.
+func (s *Sim) advecVof(p *amr.Patch, lambda float64, dir int) {
+	rho, mu, mv := p.Field(FRho), p.Field(FMu), p.Field(FMv)
+	k := kAdvecVofX
+	if dir == 1 {
+		k = kAdvecVofY
+	}
+	vfs := make([]*mesh.Field, s.numMat)
+	vfsN := make([]*mesh.Field, s.numMat)
+	for m := 0; m < s.numMat; m++ {
+		vfs[m] = p.Field(vfField(m))
+		vfsN[m] = p.Field(vfField(m) + "_new")
+	}
+	s.launch(p, k, interiorSet(p), func(kk int) {
+		i, j := rho.CellOf(kk)
+		r := math.Max(rho.At(i, j), hydro.RhoFloor)
+		var vel float64
+		if dir == 0 {
+			vel = mu.At(i, j) / r
+		} else {
+			vel = mv.At(i, j) / r
+		}
+		for m := range vfs {
+			var up float64
+			if dir == 0 {
+				if vel >= 0 {
+					up = vfs[m].At(i, j) - vfs[m].At(i-1, j)
+				} else {
+					up = vfs[m].At(i+1, j) - vfs[m].At(i, j)
+				}
+			} else {
+				if vel >= 0 {
+					up = vfs[m].At(i, j) - vfs[m].At(i, j-1)
+				} else {
+					up = vfs[m].At(i, j+1) - vfs[m].At(i, j)
+				}
+			}
+			nv := vfs[m].At(i, j) - lambda*vel*up
+			vfsN[m].Set(i, j, math.Min(math.Max(nv, 0), 1))
+		}
+	})
+}
+
+// reset copies the *_new fields back, including volume fractions, and
+// renormalizes the fractions to sum to one.
+func (s *Sim) reset(p *amr.Patch, k *raja.Kernel) {
+	rho, mu, mv, e := p.Field(FRho), p.Field(FMu), p.Field(FMv), p.Field(FE)
+	rhoN, muN, mvN, eN := p.Field(FRhoN), p.Field(FMuN), p.Field(FMvN), p.Field(FEN)
+	vfs := make([]*mesh.Field, s.numMat)
+	vfsN := make([]*mesh.Field, s.numMat)
+	for m := 0; m < s.numMat; m++ {
+		vfs[m] = p.Field(vfField(m))
+		vfsN[m] = p.Field(vfField(m) + "_new")
+	}
+	s.launch(p, k, interiorSet(p), func(kk int) {
+		i, j := rho.CellOf(kk)
+		rho.Set(i, j, rhoN.At(i, j))
+		mu.Set(i, j, muN.At(i, j))
+		mv.Set(i, j, mvN.At(i, j))
+		e.Set(i, j, eN.At(i, j))
+		for m := range vfs {
+			vfs[m].Set(i, j, vfsN[m].At(i, j))
+		}
+	})
+	s.launch(p, kVofNorm, interiorSet(p), func(kk int) {
+		i, j := rho.CellOf(kk)
+		var sum float64
+		for m := range vfs {
+			sum += vfs[m].At(i, j)
+		}
+		if sum > 1e-12 {
+			for m := range vfs {
+				vfs[m].Set(i, j, vfs[m].At(i, j)/sum)
+			}
+		}
+	})
+}
+
+// materialPhase builds the per-material mixed-cell lists and runs the
+// material kernels over them. The lists are RAJA ListSegments whose
+// lengths change dynamically as materials mix — the paper's key ARES
+// input dependence.
+func (s *Sim) materialPhase(l int, dt float64) {
+	for _, p := range s.h.Level(l) {
+		pr := p.Field(FP)
+		for m := 0; m < s.numMat; m++ {
+			vf := p.Field(vfField(m))
+			mixed, dominant := s.materialLists(p, vf)
+			if len(mixed) > 0 {
+				iset := raja.NewList(mixed)
+				s.launch(p, kMixRelax, iset, func(k int) {
+					i, j := pr.CellOf(k)
+					// Relax pressure toward the volume-weighted value.
+					w := vf.At(i, j)
+					pv := pr.At(i, j)
+					pr.Set(i, j, pv*(1-0.05*w)+0.05*w*pv)
+				})
+			}
+			if len(dominant) > 0 {
+				iset := raja.NewList(dominant)
+				s.launch(p, kMatEOS, iset, func(k int) {
+					i, j := pr.CellOf(k)
+					pr.Set(i, j, math.Max(pr.At(i, j), hydro.PFloor))
+				})
+			}
+		}
+		// A tiny kernel iterating over the materials themselves.
+		counts := make([]float64, s.numMat)
+		s.launch(p, kMatUpdate, raja.NewRange(0, s.numMat), func(m int) {
+			vf := p.Field(vfField(m))
+			counts[m] = vf.SumInterior()
+		})
+	}
+}
+
+// materialLists returns the flat interior indices of mixed cells
+// (0 < vf < 1) and dominant cells (vf >= 0.5) of one material.
+func (s *Sim) materialLists(p *amr.Patch, vf *mesh.Field) (mixed, dominant []int) {
+	n := p.Box.Count()
+	for k := 0; k < n; k++ {
+		i, j := vf.CellOf(k)
+		v := vf.At(i, j)
+		if v > 0.01 && v < 0.99 {
+			mixed = append(mixed, k)
+		}
+		if v >= 0.5 {
+			dominant = append(dominant, k)
+		}
+	}
+	return
+}
+
+// MixedCellCount returns the current number of mixed cells across the
+// hierarchy — a measurable proxy for how far materials have mixed.
+func (s *Sim) MixedCellCount() int {
+	total := 0
+	for _, p := range s.h.Patches() {
+		for m := 0; m < s.numMat; m++ {
+			mixed, _ := s.materialLists(p, p.Field(vfField(m)))
+			total += len(mixed)
+		}
+	}
+	return total
+}
+
+// extraPhysics runs the radiation-diffusion and conduction packages the
+// Jet and Hotspot decks enable: explicit 5-point diffusion of energy.
+func (s *Sim) extraPhysics(l int, dt float64) {
+	s.exchange(l)
+	const kappa = 0.02
+	for _, p := range s.h.Level(l) {
+		e, eN := p.Field(FE), p.Field(FEN)
+		s.launch(p, kRadDiffusion, interiorSet(p), func(k int) {
+			i, j := e.CellOf(k)
+			lap := e.At(i+1, j) + e.At(i-1, j) + e.At(i, j+1) + e.At(i, j-1) - 4*e.At(i, j)
+			eN.Set(i, j, e.At(i, j)+kappa*lap*0.25)
+		})
+		s.launch(p, kConduction, interiorSet(p), func(k int) {
+			i, j := e.CellOf(k)
+			e.Set(i, j, math.Max(eN.At(i, j), hydro.PFloor))
+		})
+	}
+}
+
+// unportedPhase models the multi-million-line remainder of the production
+// code that does not use RAJA: a fixed-cost parallel workload per step
+// outside Apollo's hooks, sized against the level-0 domain.
+func (s *Sim) unportedPhase() {
+	n := s.h.LevelDomain(0).Count() * 3
+	raja.ForAll(s.unportedCtx, kUnported, raja.NewRange(0, n), func(int) {})
+}
+
+// Kernels lists the package's kernel launch sites.
+func Kernels() []*raja.Kernel {
+	return []*raja.Kernel{
+		kEOS, kCalcDt, kLagrangeQ, kLagrangeAccel,
+		kRemapRhoX, kRemapMomX, kRemapEneX,
+		kRemapRhoY, kRemapMomY, kRemapEneY,
+		kResetX, kResetY, kAdvecVofX, kAdvecVofY, kVofNorm,
+		kMixRelax, kMatEOS, kMatUpdate,
+		kRadDiffusion, kConduction, kHaloX, kHaloY,
+	}
+}

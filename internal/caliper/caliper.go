@@ -1,0 +1,125 @@
+// Package caliper is a lightweight annotation system, standing in for the
+// LLNL Caliper library the paper uses to measure kernel runtimes and to
+// attach arbitrary application-level attribute/value pairs (timestep,
+// problem size, patch dimensions, ...) to each kernel sample.
+//
+// Applications push scoped attributes onto a blackboard; when Apollo's
+// recorder captures a kernel execution it snapshots the current attribute
+// values into the sample's feature vector. String-valued attributes (such
+// as problem_name) are encoded as stable numeric IDs so that the decision
+// trees, which split on numeric thresholds, can consume them — the same
+// ordinal encoding the paper's Python pipeline applies.
+package caliper
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Encode maps a string attribute value to a stable numeric code. The code
+// is a deterministic hash of the string, so it is identical across runs,
+// processes, and applications — a requirement for the paper's
+// cross-application experiments (Table III), where a model trained on one
+// application's samples must see the same encoding in another's.
+func Encode(s string) float64 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return float64(h.Sum32())
+}
+
+// Annotations is a thread-safe blackboard of named attribute stacks.
+// The zero value is not ready for use; call New.
+type Annotations struct {
+	mu     sync.RWMutex
+	stacks map[string][]float64
+}
+
+// New returns an empty annotation blackboard.
+func New() *Annotations {
+	return &Annotations{stacks: make(map[string][]float64)}
+}
+
+// Set replaces the current value of the attribute (clearing any scope
+// stack below it).
+func (a *Annotations) Set(key string, value float64) {
+	a.mu.Lock()
+	a.stacks[key] = append(a.stacks[key][:0], value)
+	a.mu.Unlock()
+}
+
+// SetString replaces the attribute with the encoded string value.
+func (a *Annotations) SetString(key, value string) {
+	a.Set(key, Encode(value))
+}
+
+// Begin pushes a scoped value for the attribute. Each Begin must be
+// matched by an End with the same key.
+func (a *Annotations) Begin(key string, value float64) {
+	a.mu.Lock()
+	a.stacks[key] = append(a.stacks[key], value)
+	a.mu.Unlock()
+}
+
+// End pops the innermost scoped value of the attribute. Ending an
+// attribute with no open scope is a no-op.
+func (a *Annotations) End(key string) {
+	a.mu.Lock()
+	if st := a.stacks[key]; len(st) > 0 {
+		a.stacks[key] = st[:len(st)-1]
+	}
+	a.mu.Unlock()
+}
+
+// Get returns the current (innermost) value of the attribute.
+func (a *Annotations) Get(key string) (float64, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	st := a.stacks[key]
+	if len(st) == 0 {
+		return 0, false
+	}
+	return st[len(st)-1], true
+}
+
+// GetOr returns the current value of the attribute, or def if unset.
+func (a *Annotations) GetOr(key string, def float64) float64 {
+	if v, ok := a.Get(key); ok {
+		return v
+	}
+	return def
+}
+
+// Snapshot returns the current value of every set attribute.
+func (a *Annotations) Snapshot() map[string]float64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make(map[string]float64, len(a.stacks))
+	for k, st := range a.stacks {
+		if len(st) > 0 {
+			out[k] = st[len(st)-1]
+		}
+	}
+	return out
+}
+
+// Keys returns the names of all currently set attributes, sorted.
+func (a *Annotations) Keys() []string {
+	a.mu.RLock()
+	keys := make([]string, 0, len(a.stacks))
+	for k, st := range a.stacks {
+		if len(st) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	a.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Clear removes every attribute.
+func (a *Annotations) Clear() {
+	a.mu.Lock()
+	a.stacks = make(map[string][]float64)
+	a.mu.Unlock()
+}

@@ -1,0 +1,118 @@
+package caliper
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestSetAndGet(t *testing.T) {
+	a := New()
+	a.Set("timestep", 7)
+	if v, ok := a.Get("timestep"); !ok || v != 7 {
+		t.Errorf("Get = %g, %v", v, ok)
+	}
+	if _, ok := a.Get("missing"); ok {
+		t.Error("Get of unset attribute reported ok")
+	}
+	if got := a.GetOr("missing", -1); got != -1 {
+		t.Errorf("GetOr default = %g", got)
+	}
+}
+
+func TestScopedBeginEnd(t *testing.T) {
+	a := New()
+	a.Set("patch_id", 1)
+	a.Begin("patch_id", 2)
+	if v, _ := a.Get("patch_id"); v != 2 {
+		t.Errorf("inner scope = %g, want 2", v)
+	}
+	a.Begin("patch_id", 3)
+	if v, _ := a.Get("patch_id"); v != 3 {
+		t.Errorf("innermost scope = %g, want 3", v)
+	}
+	a.End("patch_id")
+	if v, _ := a.Get("patch_id"); v != 2 {
+		t.Errorf("after one End = %g, want 2", v)
+	}
+	a.End("patch_id")
+	if v, _ := a.Get("patch_id"); v != 1 {
+		t.Errorf("after two Ends = %g, want 1", v)
+	}
+	a.End("patch_id")
+	if _, ok := a.Get("patch_id"); ok {
+		t.Error("attribute should be unset after popping the base value")
+	}
+	a.End("patch_id") // extra End must be a no-op
+}
+
+func TestSetClearsScopeStack(t *testing.T) {
+	a := New()
+	a.Begin("x", 1)
+	a.Begin("x", 2)
+	a.Set("x", 9)
+	a.End("x")
+	if _, ok := a.Get("x"); ok {
+		t.Error("Set should replace the whole stack with one value")
+	}
+}
+
+func TestSnapshotAndKeys(t *testing.T) {
+	a := New()
+	a.Set("b", 2)
+	a.Set("a", 1)
+	a.Begin("c", 3)
+	snap := a.Snapshot()
+	want := map[string]float64{"a": 1, "b": 2, "c": 3}
+	if !reflect.DeepEqual(snap, want) {
+		t.Errorf("Snapshot = %v, want %v", snap, want)
+	}
+	if keys := a.Keys(); !reflect.DeepEqual(keys, []string{"a", "b", "c"}) {
+		t.Errorf("Keys = %v", keys)
+	}
+	a.Clear()
+	if len(a.Snapshot()) != 0 {
+		t.Error("Clear left attributes behind")
+	}
+}
+
+func TestEncodeStableAndDistinct(t *testing.T) {
+	if Encode("sedov") != Encode("sedov") {
+		t.Error("Encode not deterministic")
+	}
+	names := []string{"sedov", "sod", "triple_pt", "jet", "hotspot"}
+	seen := map[float64]string{}
+	for _, n := range names {
+		v := Encode(n)
+		if prev, dup := seen[v]; dup {
+			t.Errorf("Encode collision: %q and %q -> %g", prev, n, v)
+		}
+		seen[v] = n
+	}
+}
+
+func TestSetStringMatchesEncode(t *testing.T) {
+	a := New()
+	a.SetString("problem_name", "sedov")
+	if v, _ := a.Get("problem_name"); v != Encode("sedov") {
+		t.Errorf("SetString stored %g, want %g", v, Encode("sedov"))
+	}
+}
+
+func TestConcurrentAccessIsSafe(t *testing.T) {
+	a := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a.Begin("k", float64(i))
+				a.Get("k")
+				a.Snapshot()
+				a.End("k")
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,230 @@
+// Package core implements Apollo's primary contribution: the off-line
+// model-generation pipeline that turns recorded kernel samples into
+// lightweight, reusable decision models for run-time tuning.
+//
+// The pipeline mirrors Section III-B of the paper. Training runs record
+// one sample per kernel execution — a Table I feature vector plus the
+// parameter values used and the measured runtime. Because each input
+// problem is run once per candidate parameter value, the same feature
+// vector appears under many variants; Label groups the samples by feature
+// vector and labels each unique vector with the variant that achieved the
+// fastest mean runtime. Train fits a CART decision tree to the labeled
+// set; CrossValidate reports 10-fold accuracy (Table II); Reduce retrains
+// on the top-k most important features and prunes to a depth cap, the
+// lightweight configuration the paper deploys (5 features, depth 15).
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"apollo/internal/dataset"
+	"apollo/internal/features"
+	"apollo/internal/raja"
+)
+
+// Parameter identifies which tuning parameter a model predicts.
+type Parameter int
+
+// The two tuning parameters evaluated in the paper.
+const (
+	// ExecutionPolicy predicts sequential vs. parallel execution.
+	ExecutionPolicy Parameter = iota
+	// ChunkSize predicts the OpenMP static-schedule chunk size.
+	ChunkSize
+)
+
+// String names the parameter.
+func (p Parameter) String() string {
+	switch p {
+	case ExecutionPolicy:
+		return "execution_policy"
+	case ChunkSize:
+		return "chunk_size"
+	}
+	return fmt.Sprintf("parameter(%d)", int(p))
+}
+
+// NumClasses returns the number of candidate values for the parameter:
+// 2 policies, or the 11 chunk sizes of the paper's training grid.
+func (p Parameter) NumClasses() int {
+	switch p {
+	case ExecutionPolicy:
+		return int(raja.NumPolicies)
+	case ChunkSize:
+		return len(raja.ChunkSizes)
+	}
+	return 0
+}
+
+// ClassName renders a class label of the parameter for reports.
+func (p Parameter) ClassName(label int) string {
+	switch p {
+	case ExecutionPolicy:
+		return raja.Policy(label).String()
+	case ChunkSize:
+		if label >= 0 && label < len(raja.ChunkSizes) {
+			return strconv.Itoa(raja.ChunkSizes[label])
+		}
+	}
+	return strconv.Itoa(label)
+}
+
+// Reserved column names in recorded sample frames, alongside the feature
+// columns of the schema.
+const (
+	ColPolicy = "policy"
+	ColChunk  = "chunk"
+	ColTimeNS = "time_ns"
+)
+
+// RecordColumns returns the full column list of a recorded-sample frame
+// for the given feature schema: every feature, then policy, chunk and
+// time_ns.
+func RecordColumns(schema *features.Schema) []string {
+	cols := schema.Names()
+	return append(cols, ColPolicy, ColChunk, ColTimeNS)
+}
+
+// ChunkClass maps a chunk size to its class label in raja.ChunkSizes,
+// or -1 if the size is not on the training grid.
+func ChunkClass(chunk int) int {
+	for i, c := range raja.ChunkSizes {
+		if c == chunk {
+			return i
+		}
+	}
+	return -1
+}
+
+// LabeledSet is a classification dataset: feature vectors and the label
+// (fastest variant) of each.
+type LabeledSet struct {
+	Schema *features.Schema
+	Param  Parameter
+	X      [][]float64
+	Y      []int
+	// MeanTimes[i][c] is the mean recorded runtime (ns) of vector i
+	// under class c, or NaN when unobserved. It allows the harness to
+	// score predictions by runtime, not just accuracy (paper Fig. 6/7).
+	MeanTimes [][]float64
+	// Weights[i] is the mean number of times vector i was launched per
+	// variant run, so time totals can be weighted by launch frequency.
+	Weights []float64
+}
+
+// Len returns the number of labeled samples.
+func (s *LabeledSet) Len() int { return len(s.X) }
+
+// variantStats accumulates runtimes of one feature vector under one class.
+type variantStats struct {
+	total float64
+	count int
+}
+
+// Label builds the labeled training set for the given parameter from a
+// frame of recorded samples. The frame must contain every feature of the
+// schema plus the policy, chunk and time_ns columns. For ExecutionPolicy,
+// all samples participate and the class is the policy; for ChunkSize, only
+// parallel samples whose chunk lies on the training grid participate.
+// Each unique feature vector becomes one labeled sample whose label is the
+// class with the lowest mean runtime.
+func Label(frame *dataset.Frame, schema *features.Schema, param Parameter) (*LabeledSet, error) {
+	featIdx := make([]int, schema.Len())
+	for i, name := range schema.Names() {
+		j := frame.Col(name)
+		if j < 0 {
+			return nil, fmt.Errorf("core: frame is missing feature column %q", name)
+		}
+		featIdx[i] = j
+	}
+	polIdx := frame.Col(ColPolicy)
+	chunkIdx := frame.Col(ColChunk)
+	timeIdx := frame.Col(ColTimeNS)
+	if polIdx < 0 || chunkIdx < 0 || timeIdx < 0 {
+		return nil, fmt.Errorf("core: frame is missing policy/chunk/time_ns columns")
+	}
+
+	numClasses := param.NumClasses()
+	type group struct {
+		x     []float64
+		stats []variantStats
+		order int
+	}
+	groups := make(map[string]*group)
+	var ordered []*group
+
+	var keyBuf strings.Builder
+	for r := 0; r < frame.Len(); r++ {
+		row := frame.Row(r)
+		var class int
+		switch param {
+		case ExecutionPolicy:
+			class = int(row[polIdx])
+		case ChunkSize:
+			if raja.Policy(row[polIdx]) != raja.OmpParallelForExec {
+				continue
+			}
+			class = ChunkClass(int(row[chunkIdx]))
+			if class < 0 {
+				continue
+			}
+		}
+		if class < 0 || class >= numClasses {
+			return nil, fmt.Errorf("core: row %d has out-of-range class %d for %v", r, class, param)
+		}
+
+		keyBuf.Reset()
+		for _, j := range featIdx {
+			keyBuf.WriteString(strconv.FormatFloat(row[j], 'g', -1, 64))
+			keyBuf.WriteByte('|')
+		}
+		key := keyBuf.String()
+		g := groups[key]
+		if g == nil {
+			x := make([]float64, len(featIdx))
+			for i, j := range featIdx {
+				x[i] = row[j]
+			}
+			g = &group{x: x, stats: make([]variantStats, numClasses), order: len(ordered)}
+			groups[key] = g
+			ordered = append(ordered, g)
+		}
+		g.stats[class].total += row[timeIdx]
+		g.stats[class].count++
+	}
+
+	set := &LabeledSet{Schema: schema, Param: param}
+	for _, g := range ordered {
+		best, bestTime := -1, math.Inf(1)
+		means := make([]float64, numClasses)
+		observed, totalCount := 0, 0
+		for c, st := range g.stats {
+			if st.count == 0 {
+				means[c] = math.NaN()
+				continue
+			}
+			observed++
+			totalCount += st.count
+			means[c] = st.total / float64(st.count)
+			if means[c] < bestTime {
+				best, bestTime = c, means[c]
+			}
+		}
+		if observed < 2 {
+			// A vector observed under a single variant carries no
+			// preference signal; skip it, as the paper's labeling does.
+			continue
+		}
+		set.X = append(set.X, g.x)
+		set.Y = append(set.Y, best)
+		set.MeanTimes = append(set.MeanTimes, means)
+		set.Weights = append(set.Weights, float64(totalCount)/float64(observed))
+	}
+	if len(set.X) == 0 {
+		return nil, fmt.Errorf("core: no feature vector was observed under multiple %v variants", param)
+	}
+	return set, nil
+}

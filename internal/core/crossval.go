@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"apollo/internal/dataset"
+)
+
+// CVResult summarizes a k-fold cross-validation.
+type CVResult struct {
+	// FoldAccuracies holds the test accuracy of each fold's model.
+	FoldAccuracies []float64
+	// MeanAccuracy is the mean of FoldAccuracies — the score the paper
+	// reports in Table II.
+	MeanAccuracy float64
+	// Confusion[actual][predicted] aggregates test predictions over all
+	// folds.
+	Confusion [][]int
+}
+
+// CrossValidate runs k-fold cross-validation of a decision-tree model on
+// the labeled set (the paper uses k = 10) and returns the per-fold and
+// mean accuracies. The fold assignment is deterministic in seed.
+func CrossValidate(set *LabeledSet, k int, seed uint64, cfg TrainConfig) (*CVResult, error) {
+	n := set.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("core: cross-validation needs at least 2 samples, have %d", n)
+	}
+	folds := dataset.KFold(n, k, seed)
+	numClasses := set.Param.NumClasses()
+
+	res := &CVResult{Confusion: make([][]int, numClasses)}
+	for c := range res.Confusion {
+		res.Confusion[c] = make([]int, numClasses)
+	}
+
+	for _, fold := range folds {
+		trainX := make([][]float64, 0, len(fold.Train))
+		trainY := make([]int, 0, len(fold.Train))
+		for _, i := range fold.Train {
+			trainX = append(trainX, set.X[i])
+			trainY = append(trainY, set.Y[i])
+		}
+		sub := &LabeledSet{Schema: set.Schema, Param: set.Param, X: trainX, Y: trainY}
+		model, err := Train(sub, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: training fold model: %w", err)
+		}
+		correct := 0
+		for _, i := range fold.Test {
+			pred := model.Predict(set.X[i])
+			res.Confusion[set.Y[i]][pred]++
+			if pred == set.Y[i] {
+				correct++
+			}
+		}
+		if len(fold.Test) > 0 {
+			res.FoldAccuracies = append(res.FoldAccuracies, float64(correct)/float64(len(fold.Test)))
+		}
+	}
+	var sum float64
+	for _, a := range res.FoldAccuracies {
+		sum += a
+	}
+	if len(res.FoldAccuracies) > 0 {
+		res.MeanAccuracy = sum / float64(len(res.FoldAccuracies))
+	}
+	return res, nil
+}
+
+// Evaluate scores a trained model against a labeled set drawn from a
+// (possibly different) application or input deck — the paper's
+// cross-application experiment (Table III). The set's schema may differ in
+// layout from the model's; vectors are projected by feature name.
+func (m *Model) Evaluate(set *LabeledSet) float64 {
+	if set.Len() == 0 {
+		return 0
+	}
+	proj := m.NewProjector(set.Schema)
+	correct := 0
+	for i, x := range set.X {
+		if proj.Predict(x) == set.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(set.X))
+}
+
+// PredictedTimeNS returns the total mean runtime of the set under the
+// model's predictions, alongside the totals for the best possible choice
+// (oracle) and a fixed static class. Vectors whose chosen class was never
+// observed fall back to the vector's worst observed time, a conservative
+// penalty. These totals drive the paper's Fig. 6 and Fig. 7 comparisons.
+func (m *Model) PredictedTimeNS(set *LabeledSet, staticClass int) (predicted, best, static float64) {
+	proj := m.NewProjector(set.Schema)
+	for i, x := range set.X {
+		times := set.MeanTimes[i]
+		w := 1.0
+		if i < len(set.Weights) && set.Weights[i] > 0 {
+			w = set.Weights[i]
+		}
+		predicted += w * timeOrWorst(times, proj.Predict(x))
+		best += w * timeOrWorst(times, set.Y[i])
+		static += w * timeOrWorst(times, staticClass)
+	}
+	return
+}
+
+// timeOrWorst returns times[class], or the worst observed time when the
+// class was not observed for this vector.
+func timeOrWorst(times []float64, class int) float64 {
+	if class >= 0 && class < len(times) && !math.IsNaN(times[class]) {
+		return times[class]
+	}
+	worst := 0.0
+	for _, t := range times {
+		if !math.IsNaN(t) && t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

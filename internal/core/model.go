@@ -1,0 +1,198 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"apollo/internal/dtree"
+	"apollo/internal/features"
+	"apollo/internal/raja"
+)
+
+// Model is a trained, reusable tuning model: a decision tree over a
+// feature schema, predicting one tuning parameter. Models serialize to
+// JSON and load at runtime without recompiling the application.
+type Model struct {
+	Param  Parameter
+	Schema *features.Schema
+	Tree   *dtree.Tree
+}
+
+// TrainConfig controls model training.
+type TrainConfig struct {
+	// Tree configures the underlying CART induction.
+	Tree dtree.Config
+}
+
+// Train fits a decision-tree model to a labeled set.
+func Train(set *LabeledSet, cfg TrainConfig) (*Model, error) {
+	cfg.Tree.FeatureNames = set.Schema.Names()
+	tree, err := dtree.Train(set.X, set.Y, set.Param.NumClasses(), cfg.Tree)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Param: set.Param, Schema: set.Schema, Tree: tree}, nil
+}
+
+// Predict returns the predicted class for a feature vector laid out by the
+// model's own schema.
+func (m *Model) Predict(x []float64) int { return m.Tree.Predict(x) }
+
+// Params converts a predicted class into execution parameters, merging it
+// into base (so a policy model leaves the chunk choice alone and vice
+// versa). This is the model_params blackboard write of the paper.
+func (m *Model) Params(class int, base raja.Params) raja.Params {
+	switch m.Param {
+	case ExecutionPolicy:
+		base.Policy = raja.Policy(class)
+	case ChunkSize:
+		if class >= 0 && class < len(raja.ChunkSizes) {
+			base.Chunk = raja.ChunkSizes[class]
+		}
+	}
+	return base
+}
+
+// Projector maps feature vectors laid out by a source schema (typically
+// the full Table I schema the recorder uses) into the model's schema. The
+// mapping is precomputed so the per-launch cost is a few slice reads.
+type Projector struct {
+	model *Model
+	idx   []int // model feature i reads source[idx[i]]; -1 reads 0
+	buf   []float64
+}
+
+// NewProjector builds a projector from the source schema onto the model.
+func (m *Model) NewProjector(source *features.Schema) *Projector {
+	p := &Projector{model: m, idx: make([]int, m.Schema.Len()), buf: make([]float64, m.Schema.Len())}
+	for i, name := range m.Schema.Names() {
+		p.idx[i] = source.Index(name)
+	}
+	return p
+}
+
+// Predict projects the source-layout vector and evaluates the model.
+// It allocates nothing and is safe for single-goroutine hot paths.
+func (p *Projector) Predict(source []float64) int {
+	for i, j := range p.idx {
+		if j >= 0 {
+			p.buf[i] = source[j]
+		} else {
+			p.buf[i] = 0
+		}
+	}
+	return p.model.Tree.Predict(p.buf)
+}
+
+// FeatureRanking returns the model's features ordered by decreasing Gini
+// importance, with their normalized importances (paper Fig. 8).
+func (m *Model) FeatureRanking() ([]string, []float64) {
+	imp := m.Tree.Importances()
+	names := m.Schema.Names()
+	order := make([]int, len(imp))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return imp[order[a]] > imp[order[b]] })
+	rankedNames := make([]string, len(order))
+	rankedImp := make([]float64, len(order))
+	for k, i := range order {
+		rankedNames[k] = names[i]
+		rankedImp[k] = imp[i]
+	}
+	return rankedNames, rankedImp
+}
+
+// Reduce retrains the model on its top-k most important features and
+// prunes the result to maxDepth (0 leaves depth unlimited). This produces
+// the paper's lightweight deployment configuration (Section IV-B: top 5
+// features, depth 15).
+func (m *Model) Reduce(set *LabeledSet, topK, maxDepth int, cfg TrainConfig) (*Model, error) {
+	names, _ := m.FeatureRanking()
+	if topK > len(names) {
+		topK = len(names)
+	}
+	keep := names[:topK]
+	reducedSchema := set.Schema.Select(keep...)
+	reduced := &LabeledSet{
+		Schema:    reducedSchema,
+		Param:     set.Param,
+		Y:         set.Y,
+		MeanTimes: set.MeanTimes,
+		Weights:   set.Weights,
+	}
+	for _, x := range set.X {
+		reduced.X = append(reduced.X, set.Schema.Project(x, reducedSchema))
+	}
+	cfg.Tree.MaxDepth = maxDepth
+	return Train(reduced, cfg)
+}
+
+// modelJSON is the on-disk form of a Model.
+type modelJSON struct {
+	Format    string      `json:"format"`
+	Parameter string      `json:"parameter"`
+	Features  []string    `json:"features"`
+	Tree      *dtree.Tree `json:"tree"`
+}
+
+const modelFormatID = "apollo-model-v1"
+
+// MarshalJSON encodes the model.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{
+		Format:    modelFormatID,
+		Parameter: m.Param.String(),
+		Features:  m.Schema.Names(),
+		Tree:      m.Tree,
+	})
+}
+
+// UnmarshalJSON decodes a model.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var j modelJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Format != modelFormatID {
+		return fmt.Errorf("core: unknown model format %q (want %q)", j.Format, modelFormatID)
+	}
+	switch j.Parameter {
+	case ExecutionPolicy.String():
+		m.Param = ExecutionPolicy
+	case ChunkSize.String():
+		m.Param = ChunkSize
+	default:
+		return fmt.Errorf("core: unknown parameter %q", j.Parameter)
+	}
+	if j.Tree == nil {
+		return fmt.Errorf("core: model has no tree")
+	}
+	m.Schema = features.NewSchema(j.Features...)
+	m.Tree = j.Tree
+	return nil
+}
+
+// Save writes the model to the named file as indented JSON.
+func (m *Model) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadModel reads a model from the named JSON file.
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("core: loading %s: %w", path, err)
+	}
+	return &m, nil
+}

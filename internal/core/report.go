@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ClassAccuracy returns the per-class recall of the aggregated confusion
+// matrix: the fraction of class c's samples predicted as c (0 when the
+// class never occurs).
+func (r *CVResult) ClassAccuracy(c int) float64 {
+	if c < 0 || c >= len(r.Confusion) {
+		return 0
+	}
+	row := r.Confusion[c]
+	total := 0
+	for _, n := range row {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(row[c]) / float64(total)
+}
+
+// ClassPrecision returns the fraction of predictions of class c that were
+// correct (0 when the class is never predicted).
+func (r *CVResult) ClassPrecision(c int) float64 {
+	if c < 0 || c >= len(r.Confusion) {
+		return 0
+	}
+	correct, predicted := 0, 0
+	for actual := range r.Confusion {
+		predicted += r.Confusion[actual][c]
+		if actual == c {
+			correct = r.Confusion[actual][c]
+		}
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(correct) / float64(predicted)
+}
+
+// Report renders the cross-validation result: mean and per-fold
+// accuracies, then the confusion matrix with class names from the
+// parameter.
+func (r *CVResult) Report(param Parameter) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mean accuracy %.1f%% over %d folds (", r.MeanAccuracy*100, len(r.FoldAccuracies))
+	for i, a := range r.FoldAccuracies {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%.0f%%", a*100)
+	}
+	b.WriteString(")\n")
+
+	// Column headers.
+	n := len(r.Confusion)
+	names := make([]string, n)
+	width := len("actual\\pred")
+	for c := 0; c < n; c++ {
+		names[c] = param.ClassName(c)
+		if len(names[c]) > width {
+			width = len(names[c])
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "actual\\pred")
+	for c := 0; c < n; c++ {
+		fmt.Fprintf(&b, "%*s", width+2, names[c])
+	}
+	fmt.Fprintf(&b, "%*s\n", width+2, "recall")
+	for actual := 0; actual < n; actual++ {
+		fmt.Fprintf(&b, "%-*s", width+2, names[actual])
+		for pred := 0; pred < n; pred++ {
+			fmt.Fprintf(&b, "%*d", width+2, r.Confusion[actual][pred])
+		}
+		fmt.Fprintf(&b, "%*.0f%%\n", width+1, r.ClassAccuracy(actual)*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonHeader is the first line of the JSONL frame format.
+type jsonHeader struct {
+	Format  string   `json:"format"`
+	Columns []string `json:"columns"`
+}
+
+const frameFormatID = "apollo-frame-v1"
+
+// WriteJSONL writes the frame in a line-delimited JSON format: a header
+// object with the column names, then one array of values per row. The
+// format streams (no whole-frame buffering) and appends cheaply, which
+// suits long recording sessions better than CSV's quoting rules.
+func (f *Frame) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonHeader{Format: frameFormatID, Columns: f.cols}); err != nil {
+		return err
+	}
+	for _, row := range f.rows {
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a frame written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Frame, error) {
+	dec := json.NewDecoder(r)
+	var hdr jsonHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("dataset: reading JSONL header: %w", err)
+	}
+	if hdr.Format != frameFormatID {
+		return nil, fmt.Errorf("dataset: unknown frame format %q (want %q)", hdr.Format, frameFormatID)
+	}
+	f := NewFrame(hdr.Columns...)
+	for line := 2; ; line++ {
+		var row []float64
+		if err := dec.Decode(&row); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("dataset: JSONL line %d: %w", line, err)
+		}
+		if len(row) != len(hdr.Columns) {
+			return nil, fmt.Errorf("dataset: JSONL line %d has %d values, want %d", line, len(row), len(hdr.Columns))
+		}
+		f.AddRow(row)
+	}
+	return f, nil
+}
+
+// SaveJSONL writes the frame to the named file.
+func (f *Frame) SaveJSONL(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteJSONL(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// LoadJSONL reads a frame from the named file.
+func LoadJSONL(path string) (*Frame, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return ReadJSONL(file)
+}

@@ -1,0 +1,156 @@
+package dtree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Forest is a bagged ensemble of decision trees with majority voting —
+// the "more complex classifier" the paper anticipates needing as the
+// number of tuning parameters grows (Section III-B). Each tree trains on
+// a bootstrap resample of the data; prediction is the plurality vote.
+// Evaluation cost grows linearly with Size, so the single tree remains
+// the default deployment model.
+type Forest struct {
+	Trees       []*Tree
+	NumFeatures int
+	NumClasses  int
+}
+
+// ForestConfig controls forest induction.
+type ForestConfig struct {
+	// Size is the number of trees (default 15).
+	Size int
+	// Seed drives the bootstrap resampling.
+	Seed uint64
+	// Tree configures each member tree.
+	Tree Config
+}
+
+// TrainForest fits a bagged forest to the samples.
+func TrainForest(X [][]float64, y []int, numClasses int, cfg ForestConfig) (*Forest, error) {
+	if cfg.Size <= 0 {
+		cfg.Size = 15
+	}
+	if len(X) == 0 {
+		return nil, fmt.Errorf("dtree: no training samples")
+	}
+	f := &Forest{NumFeatures: len(X[0]), NumClasses: numClasses}
+	state := cfg.Seed
+	if state == 0 {
+		state = 0x9e3779b97f4a7c15
+	}
+	next := func() uint64 {
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return state * 0x2545f4914f6cdd1d
+	}
+	n := len(X)
+	for t := 0; t < cfg.Size; t++ {
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := 0; i < n; i++ {
+			j := int(next() % uint64(n))
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tree, err := Train(bx, by, numClasses, cfg.Tree)
+		if err != nil {
+			return nil, fmt.Errorf("dtree: training forest member %d: %w", t, err)
+		}
+		f.Trees = append(f.Trees, tree)
+	}
+	return f, nil
+}
+
+// Predict returns the plurality vote of the member trees (lowest class
+// wins ties).
+func (f *Forest) Predict(x []float64) int {
+	votes := make([]int, f.NumClasses)
+	for _, t := range f.Trees {
+		votes[t.Predict(x)]++
+	}
+	best, bestN := 0, -1
+	for c, n := range votes {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// Accuracy returns the fraction of samples classified correctly.
+func (f *Forest) Accuracy(X [][]float64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range X {
+		if f.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+// Importances averages the member trees' normalized Gini importances.
+func (f *Forest) Importances() []float64 {
+	imp := make([]float64, f.NumFeatures)
+	if len(f.Trees) == 0 {
+		return imp
+	}
+	for _, t := range f.Trees {
+		for i, v := range t.Importances() {
+			imp[i] += v
+		}
+	}
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range imp {
+			imp[i] /= sum
+		}
+	}
+	return imp
+}
+
+// forestJSON is the serialized form of a Forest.
+type forestJSON struct {
+	Format      string  `json:"format"`
+	NumFeatures int     `json:"num_features"`
+	NumClasses  int     `json:"num_classes"`
+	Trees       []*Tree `json:"trees"`
+}
+
+const forestFormatID = "apollo-forest-v1"
+
+// MarshalJSON encodes the forest.
+func (f *Forest) MarshalJSON() ([]byte, error) {
+	return json.Marshal(forestJSON{
+		Format:      forestFormatID,
+		NumFeatures: f.NumFeatures,
+		NumClasses:  f.NumClasses,
+		Trees:       f.Trees,
+	})
+}
+
+// UnmarshalJSON decodes a forest.
+func (f *Forest) UnmarshalJSON(data []byte) error {
+	var j forestJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Format != forestFormatID {
+		return fmt.Errorf("dtree: unknown forest format %q", j.Format)
+	}
+	if len(j.Trees) == 0 {
+		return fmt.Errorf("dtree: forest has no trees")
+	}
+	f.Trees = j.Trees
+	f.NumFeatures = j.NumFeatures
+	f.NumClasses = j.NumClasses
+	return nil
+}

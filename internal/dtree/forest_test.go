@@ -1,0 +1,142 @@
+package dtree
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"apollo/internal/dataset"
+)
+
+// noisyThresholdData builds a 2-feature dataset separable on feature 0
+// at 50 with fraction flip of labels flipped.
+func noisyThresholdData(n int, flip float64) ([][]float64, []int) {
+	X := make([][]float64, n)
+	y := make([]int, n)
+	rng := dataset.NewRNG(11)
+	for i := range X {
+		v := rng.Float64() * 100
+		X[i] = []float64{v, rng.Float64()}
+		if v > 50 {
+			y[i] = 1
+		}
+		if rng.Float64() < flip {
+			y[i] = 1 - y[i]
+		}
+	}
+	return X, y
+}
+
+func TestForestLearnsThreshold(t *testing.T) {
+	X, y := noisyThresholdData(400, 0)
+	f, err := TrainForest(X, y, 2, ForestConfig{Size: 9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != 9 {
+		t.Fatalf("forest has %d trees", len(f.Trees))
+	}
+	if acc := f.Accuracy(X, y); acc < 0.99 {
+		t.Errorf("forest training accuracy %g", acc)
+	}
+	if f.Predict([]float64{10, 0.5}) != 0 || f.Predict([]float64{90, 0.5}) != 1 {
+		t.Error("forest misclassifies obvious points")
+	}
+}
+
+func TestForestSmoothsNoiseBetterThanDeepTree(t *testing.T) {
+	trainX, trainY := noisyThresholdData(300, 0.15)
+	// Clean test set from the same concept.
+	testX, testY := noisyThresholdData(2000, 0)
+	tree, err := Train(trainX, trainY, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := TrainForest(trainX, trainY, 2, ForestConfig{Size: 21, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeAcc := tree.Accuracy(testX, testY)
+	forestAcc := forest.Accuracy(testX, testY)
+	if forestAcc < treeAcc-0.01 {
+		t.Errorf("forest (%g) should generalize at least as well as a single overfit tree (%g)", forestAcc, treeAcc)
+	}
+}
+
+func TestForestDeterministicInSeed(t *testing.T) {
+	X, y := noisyThresholdData(200, 0.1)
+	a, _ := TrainForest(X, y, 2, ForestConfig{Size: 5, Seed: 42})
+	b, _ := TrainForest(X, y, 2, ForestConfig{Size: 5, Seed: 42})
+	for i := 0; i < 100; i++ {
+		x := []float64{float64(i), 0.5}
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same seed produced different forests")
+		}
+	}
+}
+
+func TestForestImportancesNormalized(t *testing.T) {
+	X, y := noisyThresholdData(300, 0)
+	f, _ := TrainForest(X, y, 2, ForestConfig{Size: 7, Seed: 1})
+	imp := f.Importances()
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %g", sum)
+	}
+	if imp[0] < imp[1] {
+		t.Error("informative feature should dominate")
+	}
+}
+
+func TestForestJSONRoundTrip(t *testing.T) {
+	X, y := noisyThresholdData(100, 0)
+	f, _ := TrainForest(X, y, 2, ForestConfig{Size: 3, Seed: 5})
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Forest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		x := []float64{float64(i * 2), 0.1}
+		if back.Predict(x) != f.Predict(x) {
+			t.Fatal("round trip changed predictions")
+		}
+	}
+	var bad Forest
+	if err := json.Unmarshal([]byte(`{"format":"apollo-forest-v1","trees":[]}`), &bad); err == nil {
+		t.Error("empty forest accepted")
+	}
+}
+
+func TestForestPredictIsPluralityProperty(t *testing.T) {
+	X, y := noisyThresholdData(200, 0.2)
+	f, _ := TrainForest(X, y, 2, ForestConfig{Size: 7, Seed: 2})
+	prop := func(raw uint16) bool {
+		x := []float64{float64(raw) / 655.35, 0.5}
+		votes := make([]int, 2)
+		for _, tr := range f.Trees {
+			votes[tr.Predict(x)]++
+		}
+		want := 0
+		if votes[1] > votes[0] {
+			want = 1
+		}
+		return f.Predict(x) == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForestValidation(t *testing.T) {
+	if _, err := TrainForest(nil, nil, 2, ForestConfig{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+}

@@ -1,0 +1,229 @@
+package dtree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config controls tree induction.
+type Config struct {
+	// MaxDepth caps tree depth (0 means unlimited).
+	MaxDepth int
+	// MinSamplesSplit is the minimum number of samples a node needs to
+	// be considered for splitting (default 2).
+	MinSamplesSplit int
+	// MinSamplesLeaf is the minimum number of samples each child of a
+	// split must receive (default 1).
+	MinSamplesLeaf int
+	// MinImpurityDecrease is the minimum weighted impurity decrease a
+	// split must achieve (default 0, i.e. any positive decrease).
+	MinImpurityDecrease float64
+	// FeatureNames optionally names features for rendering and codegen.
+	FeatureNames []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSamplesSplit < 2 {
+		c.MinSamplesSplit = 2
+	}
+	if c.MinSamplesLeaf < 1 {
+		c.MinSamplesLeaf = 1
+	}
+	return c
+}
+
+// Train fits a CART decision tree to the samples X with labels y in
+// [0, numClasses). Splits minimize Gini impurity; thresholds are midpoints
+// between adjacent distinct feature values; induction is fully
+// deterministic (all features considered at every node, first-best split
+// wins ties by lowest feature index).
+func Train(X [][]float64, y []int, numClasses int, cfg Config) (*Tree, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("dtree: no training samples")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("dtree: %d samples but %d labels", len(X), len(y))
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("dtree: need at least 2 classes, got %d", numClasses)
+	}
+	numFeatures := len(X[0])
+	for i, x := range X {
+		if len(x) != numFeatures {
+			return nil, fmt.Errorf("dtree: sample %d has %d features, want %d", i, len(x), numFeatures)
+		}
+	}
+	for i, label := range y {
+		if label < 0 || label >= numClasses {
+			return nil, fmt.Errorf("dtree: sample %d has label %d outside [0,%d)", i, label, numClasses)
+		}
+	}
+	cfg = cfg.withDefaults()
+
+	b := &builder{X: X, y: y, numClasses: numClasses, cfg: cfg}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	root := b.build(idx, 0)
+	t := &Tree{
+		Root:         root,
+		NumFeatures:  numFeatures,
+		NumClasses:   numClasses,
+		FeatureNames: cfg.FeatureNames,
+	}
+	t.importances = computeImportances(root, numFeatures)
+	return t, nil
+}
+
+type builder struct {
+	X          [][]float64
+	y          []int
+	numClasses int
+	cfg        Config
+}
+
+// classCounts tallies labels for the samples at idx.
+func (b *builder) classCounts(idx []int) []int {
+	counts := make([]int, b.numClasses)
+	for _, i := range idx {
+		counts[b.y[i]]++
+	}
+	return counts
+}
+
+// gini returns the Gini impurity of a class histogram with total samples n.
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	imp := 1.0
+	fn := float64(n)
+	for _, c := range counts {
+		p := float64(c) / fn
+		imp -= p * p
+	}
+	return imp
+}
+
+// majority returns the most frequent class (lowest index wins ties).
+func majority(counts []int) int {
+	best, bestN := 0, -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+type split struct {
+	feature   int
+	threshold float64
+	decrease  float64 // impurity decrease, weighted within the node
+	leftIdx   []int
+	rightIdx  []int
+}
+
+func (b *builder) build(idx []int, depth int) *Node {
+	counts := b.classCounts(idx)
+	node := &Node{
+		Feature:  -1,
+		Label:    majority(counts),
+		Counts:   counts,
+		Samples:  len(idx),
+		Impurity: gini(counts, len(idx)),
+	}
+	if node.Impurity == 0 ||
+		len(idx) < b.cfg.MinSamplesSplit ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
+		return node
+	}
+	best := b.bestSplit(idx, node.Impurity)
+	if best == nil {
+		return node
+	}
+	node.Feature = best.feature
+	node.Threshold = best.threshold
+	node.Left = b.build(best.leftIdx, depth+1)
+	node.Right = b.build(best.rightIdx, depth+1)
+	return node
+}
+
+// bestSplit scans every feature for the split with the greatest Gini
+// decrease. It returns nil when no split satisfies the configuration.
+func (b *builder) bestSplit(idx []int, parentImpurity float64) *split {
+	n := len(idx)
+	numFeatures := len(b.X[idx[0]])
+	var best *split
+
+	order := make([]int, n)
+	leftCounts := make([]int, b.numClasses)
+	rightCounts := make([]int, b.numClasses)
+
+	for f := 0; f < numFeatures; f++ {
+		copy(order, idx)
+		feat := f
+		sort.Slice(order, func(a, c int) bool {
+			return b.X[order[a]][feat] < b.X[order[c]][feat]
+		})
+		// All samples start on the right; move them left one by one.
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		copy(rightCounts, b.classCounts(order))
+
+		for i := 0; i < n-1; i++ {
+			label := b.y[order[i]]
+			leftCounts[label]++
+			rightCounts[label]--
+			v, next := b.X[order[i]][f], b.X[order[i+1]][f]
+			if v == next {
+				continue // can't split between identical values
+			}
+			nl, nr := i+1, n-i-1
+			if nl < b.cfg.MinSamplesLeaf || nr < b.cfg.MinSamplesLeaf {
+				continue
+			}
+			decrease := parentImpurity -
+				(float64(nl)/float64(n))*gini(leftCounts, nl) -
+				(float64(nr)/float64(n))*gini(rightCounts, nr)
+			if decrease <= b.cfg.MinImpurityDecrease {
+				continue
+			}
+			if best == nil || decrease > best.decrease {
+				best = &split{
+					feature:   f,
+					threshold: v + (next-v)/2,
+					decrease:  decrease,
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// Partition the indices by the winning split.
+	for _, i := range idx {
+		if b.X[i][best.feature] <= best.threshold {
+			best.leftIdx = append(best.leftIdx, i)
+		} else {
+			best.rightIdx = append(best.rightIdx, i)
+		}
+	}
+	return best
+}
+
+// Accuracy returns the fraction of samples the tree classifies correctly.
+func (t *Tree) Accuracy(X [][]float64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range X {
+		if t.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}

@@ -1,0 +1,176 @@
+// Package features defines the feature-vector schema Apollo collects for
+// every kernel execution — the three categories of Table I in the paper:
+//
+//  1. kernel features, taken from the arguments of each forall launch
+//     (func, func_size, index_type, loop_id, num_indices, num_segments,
+//     stride);
+//  2. instruction features, the grouped mnemonic counts of the kernel
+//     body (see package instmix); and
+//  3. application features, optionally annotated by the application
+//     through the caliper blackboard (timestep, problem_size,
+//     problem_name, patch_id).
+package features
+
+import (
+	"fmt"
+
+	"apollo/internal/caliper"
+	"apollo/internal/instmix"
+	"apollo/internal/raja"
+)
+
+// Kernel feature names (paper Table I, first block).
+const (
+	Func        = "func"
+	FuncSize    = "func_size"
+	IndexType   = "index_type"
+	LoopID      = "loop_id"
+	NumIndices  = "num_indices"
+	NumSegments = "num_segments"
+	Stride      = "stride"
+)
+
+// Application feature names (paper Table I, third block).
+const (
+	Timestep    = "timestep"
+	ProblemSize = "problem_size"
+	ProblemName = "problem_name"
+	PatchID     = "patch_id"
+)
+
+// KernelFeatureNames returns the kernel-feature block in schema order.
+func KernelFeatureNames() []string {
+	return []string{Func, FuncSize, IndexType, LoopID, NumIndices, NumSegments, Stride}
+}
+
+// AppFeatureNames returns the application-feature block in schema order.
+func AppFeatureNames() []string {
+	return []string{Timestep, ProblemSize, ProblemName, PatchID}
+}
+
+// Schema is an ordered list of feature names defining the layout of
+// feature vectors.
+type Schema struct {
+	names []string
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given names, in order.
+func NewSchema(names ...string) *Schema {
+	s := &Schema{names: append([]string(nil), names...), index: make(map[string]int, len(names))}
+	for i, n := range s.names {
+		if _, dup := s.index[n]; dup {
+			panic(fmt.Sprintf("features: duplicate feature %q", n))
+		}
+		s.index[n] = i
+	}
+	return s
+}
+
+// TableI returns the full schema of Table I: kernel features, the 30
+// instruction mnemonic groups, and application features.
+func TableI() *Schema {
+	names := KernelFeatureNames()
+	names = append(names, instmix.GroupNames()...)
+	names = append(names, AppFeatureNames()...)
+	return NewSchema(names...)
+}
+
+// Len returns the number of features.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Names returns the feature names in vector order.
+func (s *Schema) Names() []string { return append([]string(nil), s.names...) }
+
+// Name returns the i-th feature name.
+func (s *Schema) Name(i int) string { return s.names[i] }
+
+// Index returns the position of the named feature, or -1 if absent.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named feature.
+func (s *Schema) Has(name string) bool { _, ok := s.index[name]; return ok }
+
+// Without returns a schema with the named features removed. It is used to
+// train deck-independent models (the paper's Table II models exclude
+// features specific to a particular input deck).
+func (s *Schema) Without(drop ...string) *Schema {
+	dropSet := make(map[string]bool, len(drop))
+	for _, d := range drop {
+		dropSet[d] = true
+	}
+	var kept []string
+	for _, n := range s.names {
+		if !dropSet[n] {
+			kept = append(kept, n)
+		}
+	}
+	return NewSchema(kept...)
+}
+
+// Select returns a schema containing only the named features, in the
+// given order. Unknown names panic: reduced models must be built from
+// features that exist.
+func (s *Schema) Select(keep ...string) *Schema {
+	for _, k := range keep {
+		if !s.Has(k) {
+			panic(fmt.Sprintf("features: unknown feature %q", k))
+		}
+	}
+	return NewSchema(keep...)
+}
+
+// Project maps a vector laid out by this schema onto the target schema.
+// Features absent from this schema are zero-filled.
+func (s *Schema) Project(v []float64, target *Schema) []float64 {
+	out := make([]float64, target.Len())
+	for i, n := range target.names {
+		if j := s.Index(n); j >= 0 && j < len(v) {
+			out[i] = v[j]
+		}
+	}
+	return out
+}
+
+// Extract assembles the Table I feature vector for one kernel launch,
+// laid out by this schema. Unknown schema entries read from the
+// annotation blackboard (zero when unset), so applications can extend the
+// schema with custom features (e.g. num_materials) just by annotating.
+func (s *Schema) Extract(k *raja.Kernel, iset *raja.IndexSet, ann *caliper.Annotations) []float64 {
+	v := make([]float64, len(s.names))
+	for i, n := range s.names {
+		v[i] = featureValue(n, k, iset, ann)
+	}
+	return v
+}
+
+func featureValue(name string, k *raja.Kernel, iset *raja.IndexSet, ann *caliper.Annotations) float64 {
+	switch name {
+	case Func:
+		return caliper.Encode(k.Name)
+	case FuncSize:
+		return k.Mix.FuncSize()
+	case IndexType:
+		return float64(iset.Type())
+	case LoopID:
+		return float64(k.ID)
+	case NumIndices:
+		return float64(iset.Len())
+	case NumSegments:
+		return float64(iset.NumSegments())
+	case Stride:
+		return float64(iset.Stride())
+	}
+	if g, ok := instmix.GroupByName(name); ok {
+		return k.Mix.Count(g)
+	}
+	if ann != nil {
+		return ann.GetOr(name, 0)
+	}
+	return 0
+}

@@ -1,0 +1,139 @@
+package features
+
+import (
+	"reflect"
+	"testing"
+
+	"apollo/internal/caliper"
+	"apollo/internal/instmix"
+	"apollo/internal/raja"
+)
+
+func TestTableISchemaLayout(t *testing.T) {
+	s := TableI()
+	wantLen := len(KernelFeatureNames()) + int(instmix.NumGroups) + len(AppFeatureNames())
+	if s.Len() != wantLen {
+		t.Fatalf("TableI has %d features, want %d", s.Len(), wantLen)
+	}
+	// Kernel features first, app features last.
+	if s.Name(0) != Func {
+		t.Errorf("first feature = %q, want func", s.Name(0))
+	}
+	if s.Name(s.Len()-1) != PatchID {
+		t.Errorf("last feature = %q, want patch_id", s.Name(s.Len()-1))
+	}
+	for _, n := range []string{NumIndices, NumSegments, Stride, Timestep, ProblemSize, ProblemName, "movsd", "add"} {
+		if !s.Has(n) {
+			t.Errorf("TableI missing feature %q", n)
+		}
+	}
+}
+
+func TestSchemaIndexAndNames(t *testing.T) {
+	s := NewSchema("a", "b", "c")
+	if s.Index("b") != 1 || s.Index("zz") != -1 {
+		t.Error("Index lookup wrong")
+	}
+	if !reflect.DeepEqual(s.Names(), []string{"a", "b", "c"}) {
+		t.Error("Names wrong")
+	}
+}
+
+func TestDuplicateFeaturePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate feature should panic")
+		}
+	}()
+	NewSchema("x", "x")
+}
+
+func TestWithoutAndSelect(t *testing.T) {
+	s := NewSchema("a", "b", "c", "d")
+	w := s.Without("b", "d")
+	if !reflect.DeepEqual(w.Names(), []string{"a", "c"}) {
+		t.Errorf("Without = %v", w.Names())
+	}
+	sel := s.Select("d", "a")
+	if !reflect.DeepEqual(sel.Names(), []string{"d", "a"}) {
+		t.Errorf("Select = %v", sel.Names())
+	}
+}
+
+func TestSelectUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Select of unknown feature should panic")
+		}
+	}()
+	NewSchema("a").Select("b")
+}
+
+func TestProject(t *testing.T) {
+	src := NewSchema("a", "b", "c")
+	dst := NewSchema("c", "missing", "a")
+	got := src.Project([]float64{1, 2, 3}, dst)
+	want := []float64{3, 0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Project = %v, want %v", got, want)
+	}
+}
+
+func TestExtractKernelFeatures(t *testing.T) {
+	mix := instmix.NewMix().With(instmix.Add, 5).With(instmix.Movsd, 3)
+	k := raja.NewKernel("calc_pressure", mix)
+	iset := raja.NewIndexSet(
+		raja.RangeSegment{Begin: 0, End: 128},
+		raja.RangeSegment{Begin: 200, End: 264},
+	)
+	s := TableI()
+	ann := caliper.New()
+	ann.Set(Timestep, 42)
+	ann.SetString(ProblemName, "sedov")
+	v := s.Extract(k, iset, ann)
+
+	check := func(name string, want float64) {
+		t.Helper()
+		if got := v[s.Index(name)]; got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+	check(NumIndices, 192)
+	check(NumSegments, 2)
+	check(Stride, 1)
+	check(FuncSize, 8)
+	check(IndexType, float64(raja.RangeIndex))
+	check(LoopID, float64(k.ID))
+	check(Func, caliper.Encode("calc_pressure"))
+	check("add", 5)
+	check("movsd", 3)
+	check("divsd", 0)
+	check(Timestep, 42)
+	check(ProblemName, caliper.Encode("sedov"))
+	check(PatchID, 0) // unset annotation reads zero
+}
+
+func TestExtractWithNilAnnotations(t *testing.T) {
+	k := raja.NewKernel("k", nil)
+	s := TableI()
+	v := s.Extract(k, raja.NewRange(0, 10), nil)
+	if v[s.Index(Timestep)] != 0 {
+		t.Error("nil annotations should read zero")
+	}
+	if v[s.Index(NumIndices)] != 10 {
+		t.Error("kernel features must work without annotations")
+	}
+}
+
+func TestExtractCustomAnnotationFeature(t *testing.T) {
+	// Applications can extend the schema with custom features that are
+	// resolved through the blackboard (e.g. ARES's material count).
+	s := NewSchema(NumIndices, "num_materials")
+	ann := caliper.New()
+	ann.Set("num_materials", 3)
+	k := raja.NewKernel("k", nil)
+	v := s.Extract(k, raja.NewRange(0, 5), ann)
+	if v[1] != 3 {
+		t.Errorf("custom feature = %g, want 3", v[1])
+	}
+}

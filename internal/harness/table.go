@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// textTable accumulates rows and renders them with aligned columns.
+type textTable struct {
+	header []string
+	rows   [][]string
+}
+
+// newTable creates a table with the given column headers.
+func newTable(header ...string) *textTable {
+	return &textTable{header: header}
+}
+
+// addRow appends a row; values are formatted with %v unless already
+// strings.
+func (t *textTable) addRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatCell(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// formatCell renders a float compactly.
+func formatCell(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// write renders the table to w.
+func (t *textTable) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// percent renders a fraction as a percentage.
+func percent(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+// ratio renders a speedup/slowdown factor.
+func ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }

@@ -1,0 +1,148 @@
+package hydro
+
+import "math"
+
+// Deck is an input problem: a name, a material count, and an initial
+// condition over the unit square. The material index supports the ARES
+// proxy's mixed-material capability; single-material decks return 0.
+type Deck struct {
+	// Name identifies the deck (the problem_name feature).
+	Name string
+	// NumMaterials is the number of distinct materials in the problem.
+	NumMaterials int
+	// Init returns primitive variables and the material index at
+	// normalized coordinates (x, y) in [0,1]^2.
+	Init func(x, y float64) (rho, u, v, p float64, mat int)
+}
+
+// Sedov is the Sedov blast-wave problem: cold uniform background with a
+// finite-radius energy deposition at the domain center. Run in all three
+// applications in the paper.
+func Sedov() Deck {
+	return Deck{
+		Name:         "sedov",
+		NumMaterials: 1,
+		Init: func(x, y float64) (float64, float64, float64, float64, int) {
+			dx, dy := x-0.5, y-0.5
+			if dx*dx+dy*dy < 0.05*0.05 {
+				return 1, 0, 0, 200, 0
+			}
+			return 1, 0, 0, 1e-3, 0
+		},
+	}
+}
+
+// SedovMix is the ARES variant of Sedov with the full mixed-material
+// capability: the energy source sits in a second material.
+func SedovMix() Deck {
+	d := Sedov()
+	d.Name = "sedov"
+	d.NumMaterials = 2
+	base := d.Init
+	d.Init = func(x, y float64) (float64, float64, float64, float64, int) {
+		rho, u, v, p, _ := base(x, y)
+		mat := 0
+		if p > 1 {
+			mat = 1
+		}
+		return rho, u, v, p, mat
+	}
+	return d
+}
+
+// Sod is Sod's shock tube: a left/right discontinuity in density and
+// pressure, run in CleverLeaf.
+func Sod() Deck {
+	return Deck{
+		Name:         "sod",
+		NumMaterials: 1,
+		Init: func(x, y float64) (float64, float64, float64, float64, int) {
+			if x < 0.5 {
+				return 1, 0, 0, 1, 0
+			}
+			return 0.125, 0, 0, 0.1, 0
+		},
+	}
+}
+
+// TriplePt is the triple-point shock interaction problem (Galera et al.):
+// a high-pressure driver against two stacked low-pressure states of
+// different density, generating strong vorticity and a complex refined
+// region.
+func TriplePt() Deck {
+	return Deck{
+		Name:         "triple_pt",
+		NumMaterials: 1,
+		Init: func(x, y float64) (float64, float64, float64, float64, int) {
+			switch {
+			case x < 1.0/7.0:
+				return 1, 0, 0, 1, 0
+			case y > 0.5:
+				return 0.125, 0, 0, 0.1, 0
+			default:
+				return 1, 0, 0, 0.1, 0
+			}
+		},
+	}
+}
+
+// Jet is a simple shaped-charge deck (ARES): a dense, high-pressure
+// driver column that jets into a light ambient material, with a third
+// liner material between them.
+func Jet() Deck {
+	return Deck{
+		Name:         "jet",
+		NumMaterials: 3,
+		Init: func(x, y float64) (float64, float64, float64, float64, int) {
+			inLiner := x >= 0.15 && x < 0.2 && y > 0.35 && y < 0.65
+			switch {
+			case x < 0.15 && y > 0.35 && y < 0.65:
+				return 4, 0.5, 0, 40, 1 // driver
+			case inLiner:
+				return 8, 0, 0, 1, 2 // liner
+			default:
+				return 0.5, 0, 0, 0.5, 0 // ambient
+			}
+		},
+	}
+}
+
+// Hotspot simulates the ignition of an inertial-confinement-fusion
+// capsule (ARES): a hot central spot inside dense fuel, surrounded by an
+// ablator shell and a light exterior.
+func Hotspot() Deck {
+	return Deck{
+		Name:         "hotspot",
+		NumMaterials: 4,
+		Init: func(x, y float64) (float64, float64, float64, float64, int) {
+			dx, dy := x-0.5, y-0.5
+			r := math.Sqrt(dx*dx + dy*dy)
+			switch {
+			case r < 0.08:
+				return 2, 0, 0, 120, 3 // hot spot
+			case r < 0.2:
+				return 10, 0, 0, 2, 2 // dense fuel
+			case r < 0.26:
+				return 4, 0, 0, 1, 1 // ablator shell
+			default:
+				return 0.2, 0, 0, 0.2, 0 // exterior gas
+			}
+		},
+	}
+}
+
+// DeckByName returns the named deck.
+func DeckByName(name string) (Deck, bool) {
+	for _, d := range AllDecks() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Deck{}, false
+}
+
+// AllDecks lists every deck defined by the package. SedovMix shares
+// Sedov's name and is resolved per application, so it is excluded.
+func AllDecks() []Deck {
+	return []Deck{Sedov(), Sod(), TriplePt(), Jet(), Hotspot()}
+}

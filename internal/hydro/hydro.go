@@ -1,0 +1,122 @@
+// Package hydro holds the compressible-flow numerics shared by the
+// proxy applications: the ideal-gas equation of state, 2D Euler fluxes
+// with a Rusanov (local Lax-Friedrichs) Riemann solver, CFL timestep
+// logic, and the standard test decks (Sedov, Sod, triple point, plus the
+// ARES Jet and Hotspot configurations).
+package hydro
+
+import "math"
+
+// Gamma is the ideal-gas ratio of specific heats used throughout.
+const Gamma = 1.4
+
+// Floors keep the explicit scheme out of unphysical states.
+const (
+	RhoFloor = 1e-8
+	PFloor   = 1e-10
+)
+
+// State holds the conserved variables of one cell: density, x- and
+// y-momentum, and total energy density.
+type State struct {
+	Rho, Mu, Mv, E float64
+}
+
+// Pressure returns the ideal-gas pressure of a conserved state.
+func Pressure(s State) float64 {
+	rho := math.Max(s.Rho, RhoFloor)
+	kin := 0.5 * (s.Mu*s.Mu + s.Mv*s.Mv) / rho
+	p := (Gamma - 1) * (s.E - kin)
+	return math.Max(p, PFloor)
+}
+
+// SoundSpeed returns the adiabatic sound speed.
+func SoundSpeed(rho, p float64) float64 {
+	return math.Sqrt(Gamma * math.Max(p, PFloor) / math.Max(rho, RhoFloor))
+}
+
+// Conserved assembles a conserved state from primitive variables.
+func Conserved(rho, u, v, p float64) State {
+	return State{
+		Rho: rho,
+		Mu:  rho * u,
+		Mv:  rho * v,
+		E:   p/(Gamma-1) + 0.5*rho*(u*u+v*v),
+	}
+}
+
+// FluxX returns the x-direction Euler flux of a state.
+func FluxX(s State) State {
+	rho := math.Max(s.Rho, RhoFloor)
+	u := s.Mu / rho
+	p := Pressure(s)
+	return State{
+		Rho: s.Mu,
+		Mu:  s.Mu*u + p,
+		Mv:  s.Mv * u,
+		E:   (s.E + p) * u,
+	}
+}
+
+// FluxY returns the y-direction Euler flux of a state.
+func FluxY(s State) State {
+	rho := math.Max(s.Rho, RhoFloor)
+	v := s.Mv / rho
+	p := Pressure(s)
+	return State{
+		Rho: s.Mv,
+		Mu:  s.Mu * v,
+		Mv:  s.Mv*v + p,
+		E:   (s.E + p) * v,
+	}
+}
+
+// WaveSpeedX returns the maximum x-direction signal speed of a state.
+func WaveSpeedX(s State) float64 {
+	rho := math.Max(s.Rho, RhoFloor)
+	return math.Abs(s.Mu/rho) + SoundSpeed(rho, Pressure(s))
+}
+
+// WaveSpeedY returns the maximum y-direction signal speed of a state.
+func WaveSpeedY(s State) float64 {
+	rho := math.Max(s.Rho, RhoFloor)
+	return math.Abs(s.Mv/rho) + SoundSpeed(rho, Pressure(s))
+}
+
+// RusanovX returns the Rusanov numerical flux through the x-face between
+// left and right states.
+func RusanovX(l, r State) State {
+	fl, fr := FluxX(l), FluxX(r)
+	a := math.Max(WaveSpeedX(l), WaveSpeedX(r))
+	return State{
+		Rho: 0.5*(fl.Rho+fr.Rho) - 0.5*a*(r.Rho-l.Rho),
+		Mu:  0.5*(fl.Mu+fr.Mu) - 0.5*a*(r.Mu-l.Mu),
+		Mv:  0.5*(fl.Mv+fr.Mv) - 0.5*a*(r.Mv-l.Mv),
+		E:   0.5*(fl.E+fr.E) - 0.5*a*(r.E-l.E),
+	}
+}
+
+// RusanovY returns the Rusanov numerical flux through the y-face between
+// bottom and top states.
+func RusanovY(b, t State) State {
+	fb, ft := FluxY(b), FluxY(t)
+	a := math.Max(WaveSpeedY(b), WaveSpeedY(t))
+	return State{
+		Rho: 0.5*(fb.Rho+ft.Rho) - 0.5*a*(t.Rho-b.Rho),
+		Mu:  0.5*(fb.Mu+ft.Mu) - 0.5*a*(t.Mu-b.Mu),
+		Mv:  0.5*(fb.Mv+ft.Mv) - 0.5*a*(t.Mv-b.Mv),
+		E:   0.5*(fb.E+ft.E) - 0.5*a*(t.E-b.E),
+	}
+}
+
+// CFL is the Courant number used by the explicit schemes.
+const CFL = 0.35
+
+// Dt returns the stable timestep for the given maximum signal speed and
+// cell width.
+func Dt(maxSpeed, dx float64) float64 {
+	if maxSpeed <= 0 {
+		return CFL * dx
+	}
+	return CFL * dx / maxSpeed
+}

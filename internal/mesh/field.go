@@ -1,0 +1,133 @@
+package mesh
+
+import "fmt"
+
+// Field is a cell-centered scalar field over a box, stored densely with a
+// ghost layer of fixed width on every side. Indices are global (level
+// index space); the field translates them to its local storage.
+type Field struct {
+	// Box is the interior (valid) region.
+	Box Box
+	// Ghost is the ghost-layer width.
+	Ghost int
+
+	nx, ny int // interior dims
+	sx     int // row stride = nx + 2*Ghost
+	data   []float64
+}
+
+// NewField allocates a zeroed field over the box with the given ghost
+// width.
+func NewField(box Box, ghost int) *Field {
+	if ghost < 0 {
+		panic("mesh: negative ghost width")
+	}
+	f := &Field{Box: box, Ghost: ghost, nx: box.NX(), ny: box.NY()}
+	f.sx = f.nx + 2*ghost
+	f.data = make([]float64, f.sx*(f.ny+2*ghost))
+	return f
+}
+
+// Idx returns the storage index of global cell (i, j). The cell may lie
+// in the ghost region.
+func (f *Field) Idx(i, j int) int {
+	li := i - f.Box.X0 + f.Ghost
+	lj := j - f.Box.Y0 + f.Ghost
+	return lj*f.sx + li
+}
+
+// At returns the value at global cell (i, j).
+func (f *Field) At(i, j int) float64 { return f.data[f.Idx(i, j)] }
+
+// Set stores v at global cell (i, j).
+func (f *Field) Set(i, j int, v float64) { f.data[f.Idx(i, j)] = v }
+
+// Add accumulates v into global cell (i, j).
+func (f *Field) Add(i, j int, v float64) { f.data[f.Idx(i, j)] += v }
+
+// Data exposes the raw storage (including ghosts) for kernel bodies that
+// index it directly via Idx arithmetic.
+func (f *Field) Data() []float64 { return f.data }
+
+// Stride returns the row stride of the raw storage.
+func (f *Field) Stride() int { return f.sx }
+
+// Interior returns the number of interior cells.
+func (f *Field) Interior() int { return f.nx * f.ny }
+
+// CellOf maps a flat interior index k in [0, Interior()) to global (i, j)
+// coordinates, row-major over the interior.
+func (f *Field) CellOf(k int) (i, j int) {
+	return f.Box.X0 + k%f.nx, f.Box.Y0 + k/f.nx
+}
+
+// Fill sets every interior cell to v.
+func (f *Field) Fill(v float64) {
+	for j := f.Box.Y0; j < f.Box.Y1; j++ {
+		base := f.Idx(f.Box.X0, j)
+		for i := 0; i < f.nx; i++ {
+			f.data[base+i] = v
+		}
+	}
+}
+
+// FillAll sets every cell, including ghosts, to v.
+func (f *Field) FillAll(v float64) {
+	for i := range f.data {
+		f.data[i] = v
+	}
+}
+
+// CopyInterior copies the interior cells of src (which must have the same
+// box) into f.
+func (f *Field) CopyInterior(src *Field) {
+	if src.Box != f.Box {
+		panic(fmt.Sprintf("mesh: CopyInterior box mismatch %v vs %v", src.Box, f.Box))
+	}
+	for j := f.Box.Y0; j < f.Box.Y1; j++ {
+		copy(f.data[f.Idx(f.Box.X0, j):f.Idx(f.Box.X1, j)],
+			src.data[src.Idx(src.Box.X0, j):src.Idx(src.Box.X1, j)])
+	}
+}
+
+// CopyRegion copies values over the cells of region (which must lie in
+// both fields' valid-or-ghost extents) from src into f.
+func (f *Field) CopyRegion(src *Field, region Box) {
+	for j := region.Y0; j < region.Y1; j++ {
+		for i := region.X0; i < region.X1; i++ {
+			f.data[f.Idx(i, j)] = src.data[src.Idx(i, j)]
+		}
+	}
+}
+
+// SumInterior returns the sum over interior cells (useful for
+// conservation checks in tests).
+func (f *Field) SumInterior() float64 {
+	var s float64
+	for j := f.Box.Y0; j < f.Box.Y1; j++ {
+		base := f.Idx(f.Box.X0, j)
+		for i := 0; i < f.nx; i++ {
+			s += f.data[base+i]
+		}
+	}
+	return s
+}
+
+// MinMaxInterior returns the extrema over interior cells.
+func (f *Field) MinMaxInterior() (lo, hi float64) {
+	first := true
+	for j := f.Box.Y0; j < f.Box.Y1; j++ {
+		base := f.Idx(f.Box.X0, j)
+		for i := 0; i < f.nx; i++ {
+			v := f.data[base+i]
+			if first || v < lo {
+				lo = v
+			}
+			if first || v > hi {
+				hi = v
+			}
+			first = false
+		}
+	}
+	return
+}

@@ -1,0 +1,162 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxDims(t *testing.T) {
+	b := NewBox(2, 3, 10, 7)
+	if b.NX() != 8 || b.NY() != 4 || b.Count() != 32 || b.Empty() {
+		t.Errorf("box dims wrong: %v", b)
+	}
+	if !NewBox(5, 5, 5, 9).Empty() {
+		t.Error("zero-width box should be empty")
+	}
+	if NewBox(9, 0, 2, 4).NX() != 0 {
+		t.Error("inverted box should have zero extent")
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	b := NewBox(0, 0, 4, 4)
+	if !b.Contains(0, 0) || !b.Contains(3, 3) || b.Contains(4, 0) || b.Contains(-1, 2) {
+		t.Error("Contains wrong at edges")
+	}
+	if !b.ContainsBox(NewBox(1, 1, 3, 3)) || b.ContainsBox(NewBox(1, 1, 5, 3)) {
+		t.Error("ContainsBox wrong")
+	}
+	if !b.ContainsBox(NewBox(9, 9, 9, 9)) {
+		t.Error("every box contains the empty box")
+	}
+}
+
+func TestBoxIntersect(t *testing.T) {
+	a := NewBox(0, 0, 10, 10)
+	b := NewBox(5, 5, 15, 15)
+	ov := a.Intersect(b)
+	if ov != NewBox(5, 5, 10, 10) {
+		t.Errorf("Intersect = %v", ov)
+	}
+	if !a.Overlaps(b) || a.Overlaps(NewBox(20, 20, 30, 30)) {
+		t.Error("Overlaps wrong")
+	}
+	if !a.Intersect(NewBox(10, 0, 20, 10)).Empty() {
+		t.Error("touching boxes should not overlap")
+	}
+}
+
+func TestRefineCoarsenInverse(t *testing.T) {
+	f := func(x0, y0 int8, nx, ny uint8, rRaw uint8) bool {
+		r := int(rRaw)%3 + 2
+		b := NewBox(int(x0), int(y0), int(x0)+int(nx)+1, int(y0)+int(ny)+1)
+		// Coarsen(Refine(b)) must be the identity.
+		return b.Refine(r).Coarsen(r) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoarsenCovers(t *testing.T) {
+	b := NewBox(1, 3, 7, 9)
+	c := b.Coarsen(2)
+	if !c.Refine(2).ContainsBox(b) {
+		t.Errorf("Coarsen(%v)=%v does not cover", b, c)
+	}
+	// Negative coordinates must round toward -inf.
+	n := NewBox(-3, -3, 1, 1).Coarsen(2)
+	if n != NewBox(-2, -2, 1, 1) {
+		t.Errorf("negative coarsen = %v", n)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	if NewBox(2, 2, 4, 4).Grow(2) != NewBox(0, 0, 6, 6) {
+		t.Error("Grow wrong")
+	}
+}
+
+func TestFieldIndexing(t *testing.T) {
+	f := NewField(NewBox(10, 20, 14, 23), 2)
+	f.Set(10, 20, 1.5)
+	f.Set(13, 22, -2)
+	f.Set(9, 19, 7) // ghost cell
+	if f.At(10, 20) != 1.5 || f.At(13, 22) != -2 || f.At(9, 19) != 7 {
+		t.Error("set/get wrong")
+	}
+	if f.Interior() != 12 {
+		t.Errorf("Interior = %d", f.Interior())
+	}
+	f.Add(10, 20, 0.5)
+	if f.At(10, 20) != 2 {
+		t.Error("Add wrong")
+	}
+}
+
+func TestFieldCellOfRoundTrip(t *testing.T) {
+	f := NewField(NewBox(5, 7, 9, 12), 1)
+	for k := 0; k < f.Interior(); k++ {
+		i, j := f.CellOf(k)
+		if !f.Box.Contains(i, j) {
+			t.Fatalf("CellOf(%d) = (%d,%d) outside box", k, i, j)
+		}
+		f.Set(i, j, float64(k))
+	}
+	for k := 0; k < f.Interior(); k++ {
+		i, j := f.CellOf(k)
+		if f.At(i, j) != float64(k) {
+			t.Fatalf("cell %d readback wrong", k)
+		}
+	}
+}
+
+func TestFieldFillAndSum(t *testing.T) {
+	f := NewField(NewBox(0, 0, 4, 4), 2)
+	f.FillAll(9)
+	f.Fill(1)
+	if got := f.SumInterior(); got != 16 {
+		t.Errorf("SumInterior = %g, want 16 (ghosts must not count)", got)
+	}
+	lo, hi := f.MinMaxInterior()
+	if lo != 1 || hi != 1 {
+		t.Errorf("MinMax = %g,%g", lo, hi)
+	}
+}
+
+func TestFieldCopyInterior(t *testing.T) {
+	a := NewField(NewBox(0, 0, 3, 3), 1)
+	b := NewField(NewBox(0, 0, 3, 3), 1)
+	a.Fill(4)
+	a.Set(-1, -1, 99) // ghost should not copy
+	b.CopyInterior(a)
+	if b.SumInterior() != 36 {
+		t.Error("CopyInterior wrong")
+	}
+	if b.At(-1, -1) == 99 {
+		t.Error("CopyInterior copied ghosts")
+	}
+}
+
+func TestFieldCopyRegion(t *testing.T) {
+	a := NewField(NewBox(0, 0, 4, 4), 2)
+	b := NewField(NewBox(2, 0, 6, 4), 2)
+	a.Fill(3)
+	// b's ghost region overlaps a's interior on [0,2)x[0,4).
+	b.CopyRegion(a, NewBox(0, 0, 2, 4))
+	if b.At(0, 0) != 3 || b.At(1, 3) != 3 {
+		t.Error("CopyRegion into ghosts failed")
+	}
+}
+
+func TestFieldDataStrideConsistent(t *testing.T) {
+	f := NewField(NewBox(0, 0, 5, 3), 2)
+	f.Set(2, 1, 42)
+	idx := f.Idx(2, 1)
+	if f.Data()[idx] != 42 {
+		t.Error("raw data access inconsistent with At")
+	}
+	if f.Idx(2, 2)-f.Idx(2, 1) != f.Stride() {
+		t.Error("stride inconsistent")
+	}
+}

@@ -1,0 +1,108 @@
+package platform
+
+import (
+	"sync"
+	"time"
+
+	"apollo/internal/instmix"
+)
+
+// Noise produces deterministic, reproducible multiplicative measurement
+// noise. Real kernel timings vary run to run; the paper's training data is
+// therefore noisy, which is what keeps model accuracy below 100% and makes
+// the chunk-size models (whose candidate values often tie within noise)
+// much weaker than the policy models. Noise reproduces that effect without
+// sacrificing determinism: the multiplier for a given key is a pure
+// function of the key and the seed.
+type Noise struct {
+	// Amplitude is the half-width of the multiplier range; a value of
+	// 0.08 yields multipliers in [0.92, 1.08].
+	Amplitude float64
+	// Seed perturbs the hash so independent experiments decorrelate.
+	Seed uint64
+}
+
+// splitmix64 is the SplitMix64 finalizer, a fast high-quality bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mul returns the noise multiplier for the given key, in
+// [1-Amplitude, 1+Amplitude].
+func (n *Noise) Mul(key uint64) float64 {
+	if n == nil || n.Amplitude == 0 {
+		return 1
+	}
+	h := splitmix64(key ^ n.Seed)
+	u := float64(h>>11) / float64(1<<53) // uniform in [0,1)
+	return 1 + n.Amplitude*(2*u-1)
+}
+
+// SimClock is a deterministic virtual clock driven by a Machine model. It
+// substitutes for the paper's dedicated 16-core node: kernel "runtimes"
+// are the model's predictions (optionally noised), and virtual time
+// accumulates as kernels execute. SimClock is safe for concurrent use.
+type SimClock struct {
+	Machine *Machine
+	Noise   *Noise
+
+	mu      sync.Mutex
+	nowNS   float64
+	samples uint64
+}
+
+// NewSimClock returns a virtual clock over the given machine model with
+// the given noise amplitude (0 disables noise).
+func NewSimClock(m *Machine, noiseAmp float64, seed uint64) *SimClock {
+	var n *Noise
+	if noiseAmp > 0 {
+		n = &Noise{Amplitude: noiseAmp, Seed: seed}
+	}
+	return &SimClock{Machine: m, Noise: n}
+}
+
+// KernelTimeNS returns the modeled (and noised) execution time of one
+// kernel launch and advances virtual time by it. The key decorrelates the
+// noise across kernels and invocations.
+func (c *SimClock) KernelTimeNS(mix *instmix.Mix, n int, parallel bool, chunk int, key uint64) float64 {
+	base := c.Machine.KernelTimeNS(mix, n, parallel, chunk)
+	c.mu.Lock()
+	c.samples++
+	sample := c.samples
+	c.mu.Unlock()
+	t := base * c.Noise.Mul(key*0x9e3779b97f4a7c15+sample)
+	c.mu.Lock()
+	c.nowNS += t
+	c.mu.Unlock()
+	return t
+}
+
+// NowNS returns the accumulated virtual time in nanoseconds.
+func (c *SimClock) NowNS() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nowNS
+}
+
+// Reset zeroes the virtual time and sample counter.
+func (c *SimClock) Reset() {
+	c.mu.Lock()
+	c.nowNS = 0
+	c.samples = 0
+	c.mu.Unlock()
+}
+
+// WallTimer measures real elapsed time. It is used by the overhead
+// benchmarks, where the quantity of interest (Apollo's decision cost) is
+// genuinely measurable on any host.
+type WallTimer struct{}
+
+// Time runs fn and returns the real elapsed time in nanoseconds.
+func (WallTimer) Time(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return float64(time.Since(start).Nanoseconds())
+}

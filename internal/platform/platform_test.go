@@ -1,0 +1,253 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apollo/internal/instmix"
+)
+
+// elementMix is a representative compute-heavy hydro kernel body.
+func elementMix() *instmix.Mix {
+	return instmix.NewMix().
+		With(instmix.Add, 8).
+		With(instmix.Mulpd, 6).
+		With(instmix.Movsd, 10).
+		With(instmix.Divsd, 1)
+}
+
+func TestSeqTimeLinearInN(t *testing.T) {
+	m := SandyBridgeNode()
+	mix := elementMix()
+	t1 := m.SeqTimeNS(mix, 1000)
+	t2 := m.SeqTimeNS(mix, 2000)
+	if t1 <= 0 {
+		t.Fatalf("SeqTimeNS(1000) = %g, want > 0", t1)
+	}
+	ratio := t2 / t1
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("sequential time should be linear: t(2000)/t(1000) = %g", ratio)
+	}
+}
+
+func TestSmallLoopsFavorSequential(t *testing.T) {
+	m := SandyBridgeNode()
+	mix := elementMix()
+	for _, n := range []int{1, 8, 64, 256} {
+		seq := m.SeqTimeNS(mix, n)
+		omp := m.OMPTimeNS(mix, n, 0)
+		if seq >= omp {
+			t.Errorf("n=%d: seq (%g) should beat omp (%g): fork/join cost must dominate", n, seq, omp)
+		}
+	}
+}
+
+func TestLargeLoopsFavorParallel(t *testing.T) {
+	m := SandyBridgeNode()
+	mix := elementMix()
+	for _, n := range []int{100000, 1000000} {
+		seq := m.SeqTimeNS(mix, n)
+		omp := m.OMPTimeNS(mix, n, 0)
+		if omp >= seq {
+			t.Errorf("n=%d: omp (%g) should beat seq (%g)", n, omp, seq)
+		}
+	}
+}
+
+func TestCrossoverIsBetweenExtremes(t *testing.T) {
+	m := SandyBridgeNode()
+	mix := elementMix()
+	x := m.CrossoverN(mix)
+	if x <= 256 || x >= 100000 {
+		t.Fatalf("crossover N = %d, expected between 256 and 100000", x)
+	}
+	// The crossover must actually separate the regimes.
+	if m.SeqTimeNS(mix, x-1) > m.OMPTimeNS(mix, x-1, 0) {
+		t.Errorf("just below crossover, seq should still win")
+	}
+	if m.SeqTimeNS(mix, x) <= m.OMPTimeNS(mix, x, 0) {
+		t.Errorf("at crossover, omp should win")
+	}
+}
+
+func TestParallelSpeedupBoundedByCores(t *testing.T) {
+	m := SandyBridgeNode()
+	mix := instmix.NewMix().With(instmix.Divsd, 20) // compute-bound
+	n := 1 << 20
+	speedup := m.SeqTimeNS(mix, n) / m.OMPTimeNS(mix, n, 0)
+	if speedup > float64(m.Cores) {
+		t.Errorf("speedup %g exceeds core count %d", speedup, m.Cores)
+	}
+	if speedup < float64(m.Cores)*0.8 {
+		t.Errorf("compute-bound speedup %g is too far below core count %d", speedup, m.Cores)
+	}
+}
+
+func TestMemoryBoundKernelSpeedupLimitedByBandwidth(t *testing.T) {
+	m := SandyBridgeNode()
+	mix := instmix.NewMix().With(instmix.Movsd, 12).With(instmix.Add, 1) // streaming
+	n := 1 << 22
+	speedup := m.SeqTimeNS(mix, n) / m.OMPTimeNS(mix, n, 0)
+	bwLimit := m.BandwidthBytesPerNS / m.CoreBandwidthBytesPerNS
+	if speedup > bwLimit*1.05 {
+		t.Errorf("memory-bound speedup %g exceeds bandwidth roofline %g", speedup, bwLimit)
+	}
+}
+
+func TestTinyChunksArePenalized(t *testing.T) {
+	m := SandyBridgeNode()
+	mix := elementMix()
+	n := 1 << 16
+	t1 := m.OMPTimeNS(mix, n, 1)
+	t128 := m.OMPTimeNS(mix, n, 128)
+	if t1 <= t128 {
+		t.Errorf("chunk=1 (%g) should be slower than chunk=128 (%g): dispatch + false sharing", t1, t128)
+	}
+}
+
+func TestHugeChunksCauseImbalance(t *testing.T) {
+	m := SandyBridgeNode()
+	mix := elementMix()
+	n := 1 << 16
+	// chunk = n means one worker does everything.
+	tBig := m.OMPTimeNS(mix, n, n)
+	tDefault := m.OMPTimeNS(mix, n, 0)
+	if tBig <= tDefault {
+		t.Errorf("chunk=n (%g) should be slower than default chunking (%g)", tBig, tDefault)
+	}
+}
+
+func TestOMPTimeZeroIterationsIsForkJoinOnly(t *testing.T) {
+	m := SandyBridgeNode()
+	if got := m.OMPTimeNS(elementMix(), 0, 0); got != m.ForkJoinNS {
+		t.Errorf("OMPTimeNS(0) = %g, want fork/join %g", got, m.ForkJoinNS)
+	}
+	if got := m.SeqTimeNS(elementMix(), 0); got != 0 {
+		t.Errorf("SeqTimeNS(0) = %g, want 0", got)
+	}
+}
+
+func TestOMPMonotoneInNProperty(t *testing.T) {
+	m := SandyBridgeNode()
+	mix := elementMix()
+	f := func(a uint16, extra uint8) bool {
+		n := int(a) + 1
+		bigger := n + int(extra) + 1
+		return m.OMPTimeNS(mix, bigger, 64) >= m.OMPTimeNS(mix, n, 64)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	n := &Noise{Amplitude: 0.1, Seed: 42}
+	for key := uint64(0); key < 1000; key++ {
+		v1, v2 := n.Mul(key), n.Mul(key)
+		if v1 != v2 {
+			t.Fatalf("noise not deterministic for key %d: %g vs %g", key, v1, v2)
+		}
+		if v1 < 0.9 || v1 > 1.1 {
+			t.Fatalf("noise %g outside [0.9, 1.1] for key %d", v1, key)
+		}
+	}
+}
+
+func TestNoiseNilIsIdentity(t *testing.T) {
+	var n *Noise
+	if n.Mul(7) != 1 {
+		t.Error("nil noise must be identity")
+	}
+}
+
+func TestNoiseVaries(t *testing.T) {
+	n := &Noise{Amplitude: 0.1, Seed: 1}
+	same := true
+	first := n.Mul(0)
+	for key := uint64(1); key < 100; key++ {
+		if n.Mul(key) != first {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("noise returned the same multiplier for 100 distinct keys")
+	}
+}
+
+func TestSimClockAccumulatesAndResets(t *testing.T) {
+	clk := NewSimClock(SandyBridgeNode(), 0, 0)
+	mix := elementMix()
+	t1 := clk.KernelTimeNS(mix, 1000, false, 0, 1)
+	t2 := clk.KernelTimeNS(mix, 1000, true, 0, 2)
+	if got := clk.NowNS(); got != t1+t2 {
+		t.Errorf("NowNS = %g, want %g", got, t1+t2)
+	}
+	clk.Reset()
+	if clk.NowNS() != 0 {
+		t.Error("Reset did not zero the clock")
+	}
+}
+
+func TestSimClockNoiseChangesSamples(t *testing.T) {
+	clk := NewSimClock(SandyBridgeNode(), 0.1, 7)
+	mix := elementMix()
+	a := clk.KernelTimeNS(mix, 5000, false, 0, 1)
+	b := clk.KernelTimeNS(mix, 5000, false, 0, 1)
+	if a == b {
+		t.Error("repeated noisy measurements should differ (sample counter decorrelates)")
+	}
+	base := SandyBridgeNode().SeqTimeNS(mix, 5000)
+	for _, v := range []float64{a, b} {
+		if v < base*0.89 || v > base*1.11 {
+			t.Errorf("noisy time %g too far from base %g", v, base)
+		}
+	}
+}
+
+func TestWallTimerMeasuresSomething(t *testing.T) {
+	var w WallTimer
+	elapsed := w.Time(func() {
+		s := 0
+		for i := 0; i < 100000; i++ {
+			s += i
+		}
+		_ = s
+	})
+	if elapsed < 0 {
+		t.Errorf("negative elapsed time %g", elapsed)
+	}
+}
+
+func TestKNLNodeShiftsCrossover(t *testing.T) {
+	snb, knl := SandyBridgeNode(), KNLNode()
+	mix := elementMix()
+	xs, xk := snb.CrossoverN(mix), knl.CrossoverN(mix)
+	if xs == xk {
+		t.Error("machines with different fork costs should have different crossovers")
+	}
+	// KNL: higher fork cost but slower cores; the net crossover must
+	// still be finite and in a plausible range.
+	if xk <= 0 || xk >= 1<<26 {
+		t.Errorf("KNL crossover %d implausible", xk)
+	}
+}
+
+func TestKNLHigherParallelCeiling(t *testing.T) {
+	snb, knl := SandyBridgeNode(), KNLNode()
+	mix := instmix.NewMix().With(instmix.Divsd, 30) // compute-bound
+	n := 1 << 21
+	sSNB := snb.SeqTimeNS(mix, n) / snb.OMPTimeNS(mix, n, 0)
+	sKNL := knl.SeqTimeNS(mix, n) / knl.OMPTimeNS(mix, n, 0)
+	if sKNL <= sSNB {
+		t.Errorf("64-core node speedup (%g) should exceed 16-core (%g) on compute-bound work", sKNL, sSNB)
+	}
+}
+
+func TestKNLSequentialSlower(t *testing.T) {
+	snb, knl := SandyBridgeNode(), KNLNode()
+	mix := elementMix()
+	if knl.SeqTimeNS(mix, 10000) <= snb.SeqTimeNS(mix, 10000) {
+		t.Error("KNL cores are slower; sequential time must be higher")
+	}
+}

@@ -1,0 +1,60 @@
+package platform
+
+import "testing"
+
+// Verify critical-path math of OMPTimeNS against an explicit simulation
+// of the round-robin schedule.
+func TestOMPCriticalPathMatchesExplicitSchedule(t *testing.T) {
+	m := SandyBridgeNode()
+	mix := elementMix()
+	for _, tc := range []struct{ n, chunk int }{
+		{100, 7}, {1000, 64}, {65536, 1}, {16, 1024}, {1023, 64}, {17, 3},
+	} {
+		chunk := tc.chunk
+		nchunks := (tc.n + chunk - 1) / chunk
+		compute := m.IterCostNS(mix)
+		if chunk < m.FalseSharingChunk && mix.StoresPerIter() > 0 {
+			compute += m.FalseSharingNS * mix.StoresPerIter()
+		}
+		active := nchunks
+		if active > m.Cores {
+			active = m.Cores
+		}
+		bw := m.BandwidthBytesPerNS / float64(active)
+		if bw > m.CoreBandwidthBytesPerNS {
+			bw = m.CoreBandwidthBytesPerNS
+		}
+		mem := mix.BytesPerIter() / bw
+		per := compute
+		if mem > per {
+			per = mem
+		}
+		// Explicit per-worker accumulation.
+		worst := 0.0
+		for w := 0; w < m.Cores; w++ {
+			tW, cW := 0.0, 0
+			for c := w; c < nchunks; c += m.Cores {
+				iters := chunk
+				if (c+1)*chunk > tc.n {
+					iters = tc.n - c*chunk
+				}
+				tW += float64(iters) * per
+				cW++
+			}
+			tW += float64(cW) * m.ChunkDispatchNS
+			if tW > worst {
+				worst = tW
+			}
+		}
+		want := m.ForkJoinNS + worst
+		got := m.OMPTimeNS(mix, tc.n, tc.chunk)
+		rel := (got - want) / want
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.02 {
+			t.Errorf("n=%d chunk=%d: OMPTimeNS=%g, explicit schedule=%g (%.1f%% off)",
+				tc.n, tc.chunk, got, want, rel*100)
+		}
+	}
+}

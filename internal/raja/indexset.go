@@ -1,0 +1,208 @@
+// Package raja provides the RAJA-style performance-portability substrate
+// this repository's applications are written against.
+//
+// As in the paper, kernels are single-source loop bodies handed to a
+// generic ForAll execution method; the execution policy (sequential or
+// parallel, plus the static-schedule chunk size) is decoupled from the body
+// and can be fixed statically or chosen per launch by Apollo through the
+// Hooks interface. The PolicySwitcher mirrors the paper's C++14
+// apollo::policySwitcher: a switch statement that forwards the body to the
+// distinct, statically compiled execution path for each policy.
+package raja
+
+import "fmt"
+
+// IndexType classifies an IndexSet for the index_type feature of Table I.
+type IndexType int
+
+// Index set types, in increasing generality.
+const (
+	RangeIndex IndexType = iota // contiguous or strided ranges only
+	ListIndex                   // explicit index lists only
+	MixedIndex                  // both kinds of segment
+)
+
+// String returns the feature encoding name of the index type.
+func (t IndexType) String() string {
+	switch t {
+	case RangeIndex:
+		return "range"
+	case ListIndex:
+		return "list"
+	case MixedIndex:
+		return "mixed"
+	}
+	return fmt.Sprintf("indextype(%d)", int(t))
+}
+
+// Segment is one piece of an IndexSet's iteration space.
+type Segment interface {
+	// Len returns the number of indices in the segment.
+	Len() int
+	// At returns the k-th index, 0 <= k < Len().
+	At(k int) int
+	// Stride returns the stride between consecutive indices
+	// (1 for contiguous ranges, 0 for irregular lists).
+	Stride() int
+	// Type reports whether the segment is a range or a list.
+	Type() IndexType
+}
+
+// RangeSegment is a contiguous half-open range [Begin, End).
+type RangeSegment struct {
+	Begin, End int
+}
+
+// Len returns End-Begin (zero if the range is empty or inverted).
+func (s RangeSegment) Len() int {
+	if s.End <= s.Begin {
+		return 0
+	}
+	return s.End - s.Begin
+}
+
+// At returns Begin+k.
+func (s RangeSegment) At(k int) int { return s.Begin + k }
+
+// Stride returns 1.
+func (s RangeSegment) Stride() int { return 1 }
+
+// Type returns RangeIndex.
+func (s RangeSegment) Type() IndexType { return RangeIndex }
+
+// StridedRangeSegment is a strided range: Begin, Begin+Str, ... < End.
+type StridedRangeSegment struct {
+	Begin, End, Str int
+}
+
+// Len returns the number of indices in the strided range.
+func (s StridedRangeSegment) Len() int {
+	if s.Str <= 0 || s.End <= s.Begin {
+		return 0
+	}
+	return (s.End - s.Begin + s.Str - 1) / s.Str
+}
+
+// At returns Begin + k*Str.
+func (s StridedRangeSegment) At(k int) int { return s.Begin + k*s.Str }
+
+// Stride returns the segment stride.
+func (s StridedRangeSegment) Stride() int { return s.Str }
+
+// Type returns RangeIndex.
+func (s StridedRangeSegment) Type() IndexType { return RangeIndex }
+
+// ListSegment is an explicit list of indices, as produced for material
+// regions or unstructured gather patterns.
+type ListSegment struct {
+	Indices []int
+}
+
+// Len returns the number of listed indices.
+func (s ListSegment) Len() int { return len(s.Indices) }
+
+// At returns the k-th listed index.
+func (s ListSegment) At(k int) int { return s.Indices[k] }
+
+// Stride returns 0: lists are irregular.
+func (s ListSegment) Stride() int { return 0 }
+
+// Type returns ListIndex.
+func (s ListSegment) Type() IndexType { return ListIndex }
+
+// IndexSet is an ordered collection of segments defining a kernel's
+// iteration space, mirroring RAJA's IndexSet.
+type IndexSet struct {
+	segs []Segment
+	len  int
+}
+
+// NewIndexSet builds an index set from the given segments.
+func NewIndexSet(segs ...Segment) *IndexSet {
+	s := &IndexSet{}
+	for _, seg := range segs {
+		s.Push(seg)
+	}
+	return s
+}
+
+// NewRange returns an index set holding the single range [begin, end).
+func NewRange(begin, end int) *IndexSet {
+	return NewIndexSet(RangeSegment{Begin: begin, End: end})
+}
+
+// NewList returns an index set holding the single explicit index list.
+func NewList(indices []int) *IndexSet {
+	return NewIndexSet(ListSegment{Indices: indices})
+}
+
+// Push appends a segment.
+func (s *IndexSet) Push(seg Segment) {
+	s.segs = append(s.segs, seg)
+	s.len += seg.Len()
+}
+
+// Len returns the total number of indices, the paper's num_indices feature.
+func (s *IndexSet) Len() int { return s.len }
+
+// NumSegments returns the number of segments, the num_segments feature.
+func (s *IndexSet) NumSegments() int { return len(s.segs) }
+
+// Segment returns the i-th segment.
+func (s *IndexSet) Segment(i int) Segment { return s.segs[i] }
+
+// Stride returns a representative stride for the stride feature: the
+// stride of the first segment (0 for an empty set).
+func (s *IndexSet) Stride() int {
+	if len(s.segs) == 0 {
+		return 0
+	}
+	return s.segs[0].Stride()
+}
+
+// Type classifies the set for the index_type feature.
+func (s *IndexSet) Type() IndexType {
+	if len(s.segs) == 0 {
+		return RangeIndex
+	}
+	t := s.segs[0].Type()
+	for _, seg := range s.segs[1:] {
+		if seg.Type() != t {
+			return MixedIndex
+		}
+	}
+	return t
+}
+
+// ForEach applies body to every index sequentially, in segment order.
+func (s *IndexSet) ForEach(body func(i int)) {
+	for _, seg := range s.segs {
+		switch sg := seg.(type) {
+		case RangeSegment:
+			for i := sg.Begin; i < sg.End; i++ {
+				body(i)
+			}
+		case StridedRangeSegment:
+			for i := sg.Begin; i < sg.End; i += sg.Str {
+				body(i)
+			}
+		case ListSegment:
+			for _, i := range sg.Indices {
+				body(i)
+			}
+		default:
+			n := seg.Len()
+			for k := 0; k < n; k++ {
+				body(seg.At(k))
+			}
+		}
+	}
+}
+
+// Indices returns every index of the set in iteration order. It is
+// intended for tests and debugging, not hot paths.
+func (s *IndexSet) Indices() []int {
+	out := make([]int, 0, s.len)
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}

@@ -1,0 +1,125 @@
+package raja
+
+import (
+	"fmt"
+
+	"apollo/internal/team"
+)
+
+// Policy selects the execution backend for a kernel launch, the paper's
+// primary tuning parameter. RAJA exposes many policies; as in the paper's
+// evaluation, the tuned choice is sequential versus OpenMP-style parallel.
+type Policy int
+
+// Execution policies, named after their RAJA counterparts.
+const (
+	// SeqExec runs segments and their iterations sequentially
+	// (RAJA seq_segit_seq_exec).
+	SeqExec Policy = iota
+	// OmpParallelForExec runs each segment's iterations on the worker
+	// team with a static schedule (RAJA seq_segit_omp_parallel_for_exec).
+	OmpParallelForExec
+	// NumPolicies is the number of selectable policies.
+	NumPolicies
+)
+
+// String returns the RAJA-style policy name.
+func (p Policy) String() string {
+	switch p {
+	case SeqExec:
+		return "seq_exec"
+	case OmpParallelForExec:
+		return "omp_parallel_for_exec"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// PolicyByName parses a policy name as produced by String.
+func PolicyByName(name string) (Policy, bool) {
+	switch name {
+	case "seq_exec":
+		return SeqExec, true
+	case "omp_parallel_for_exec":
+		return OmpParallelForExec, true
+	}
+	return 0, false
+}
+
+// Parallel reports whether the policy uses the worker team.
+func (p Policy) Parallel() bool { return p == OmpParallelForExec }
+
+// DefaultChunk is the sentinel chunk value selecting the OpenMP default
+// schedule of ceil(N/threads).
+const DefaultChunk = 0
+
+// ChunkSizes is the grid of OpenMP static-schedule chunk sizes explored in
+// the paper's training runs.
+var ChunkSizes = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Params is the full set of tunable execution parameters for one launch:
+// the model writes a Params to the blackboard and ForAll consumes it, as
+// RAJA::apollo::set_model_params does in the paper.
+type Params struct {
+	Policy Policy
+	Chunk  int // static-schedule chunk; DefaultChunk = ceil(N/threads)
+}
+
+// String renders the params, e.g. "omp_parallel_for_exec/chunk=128".
+func (p Params) String() string {
+	if p.Policy.Parallel() {
+		if p.Chunk == DefaultChunk {
+			return p.Policy.String() + "/chunk=default"
+		}
+		return fmt.Sprintf("%s/chunk=%d", p.Policy, p.Chunk)
+	}
+	return p.Policy.String()
+}
+
+// PolicySwitcher dispatches the kernel body to the statically compiled
+// execution path selected by params, mirroring the paper's
+// apollo::policySwitcher. Each case is a distinct function, so the per-
+// policy code remains separately optimizable — the property the paper
+// preserves with C++ templates.
+func PolicySwitcher(params Params, tm *team.Team, iset *IndexSet, body func(i int)) {
+	switch params.Policy {
+	case SeqExec:
+		execSeq(iset, body)
+	case OmpParallelForExec:
+		execOMP(tm, iset, params.Chunk, body)
+	default:
+		panic(fmt.Sprintf("raja: unknown policy %v", params.Policy))
+	}
+}
+
+// execSeq is the sequential execution path.
+func execSeq(iset *IndexSet, body func(i int)) {
+	iset.ForEach(body)
+}
+
+// execOMP is the parallel execution path: segments run in order (seq_segit)
+// and each segment's iterations are spread across the team with a static
+// chunked schedule.
+func execOMP(tm *team.Team, iset *IndexSet, chunk int, body func(i int)) {
+	if tm == nil {
+		// No team configured (pure-simulation contexts): preserve
+		// semantics by running sequentially.
+		execSeq(iset, body)
+		return
+	}
+	for si := 0; si < iset.NumSegments(); si++ {
+		switch seg := iset.Segment(si).(type) {
+		case RangeSegment:
+			tm.ParallelFor(seg.Begin, seg.End, chunk, body)
+		case StridedRangeSegment:
+			n := seg.Len()
+			tm.ParallelFor(0, n, chunk, func(k int) { body(seg.At(k)) })
+		case ListSegment:
+			ind := seg.Indices
+			tm.ParallelFor(0, len(ind), chunk, func(k int) { body(ind[k]) })
+		default:
+			n := seg.Len()
+			s := seg
+			tm.ParallelFor(0, n, chunk, func(k int) { body(s.At(k)) })
+		}
+	}
+}

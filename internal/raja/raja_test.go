@@ -1,0 +1,272 @@
+package raja
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"apollo/internal/instmix"
+	"apollo/internal/platform"
+	"apollo/internal/team"
+)
+
+func TestRangeSegment(t *testing.T) {
+	s := RangeSegment{Begin: 3, End: 8}
+	if s.Len() != 5 || s.At(0) != 3 || s.At(4) != 7 || s.Stride() != 1 {
+		t.Errorf("RangeSegment misbehaves: len=%d at0=%d", s.Len(), s.At(0))
+	}
+	if (RangeSegment{Begin: 5, End: 5}).Len() != 0 {
+		t.Error("empty range should have Len 0")
+	}
+	if (RangeSegment{Begin: 9, End: 2}).Len() != 0 {
+		t.Error("inverted range should have Len 0")
+	}
+}
+
+func TestStridedRangeSegment(t *testing.T) {
+	s := StridedRangeSegment{Begin: 0, End: 10, Str: 3}
+	want := []int{0, 3, 6, 9}
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+	}
+	for k, w := range want {
+		if s.At(k) != w {
+			t.Errorf("At(%d) = %d, want %d", k, s.At(k), w)
+		}
+	}
+	if (StridedRangeSegment{Begin: 0, End: 10, Str: 0}).Len() != 0 {
+		t.Error("zero stride should yield empty segment")
+	}
+}
+
+func TestListSegment(t *testing.T) {
+	s := ListSegment{Indices: []int{7, 2, 9}}
+	if s.Len() != 3 || s.At(1) != 2 || s.Stride() != 0 || s.Type() != ListIndex {
+		t.Error("ListSegment misbehaves")
+	}
+}
+
+func TestIndexSetAggregates(t *testing.T) {
+	is := NewIndexSet(
+		RangeSegment{Begin: 0, End: 10},
+		ListSegment{Indices: []int{100, 200}},
+	)
+	if is.Len() != 12 {
+		t.Errorf("Len = %d, want 12", is.Len())
+	}
+	if is.NumSegments() != 2 {
+		t.Errorf("NumSegments = %d, want 2", is.NumSegments())
+	}
+	if is.Type() != MixedIndex {
+		t.Errorf("Type = %v, want mixed", is.Type())
+	}
+	if is.Stride() != 1 {
+		t.Errorf("Stride = %d, want 1 (first segment)", is.Stride())
+	}
+}
+
+func TestIndexSetForEachOrder(t *testing.T) {
+	is := NewIndexSet(
+		RangeSegment{Begin: 2, End: 5},
+		StridedRangeSegment{Begin: 10, End: 16, Str: 2},
+		ListSegment{Indices: []int{99}},
+	)
+	want := []int{2, 3, 4, 10, 12, 14, 99}
+	if got := is.Indices(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Indices() = %v, want %v", got, want)
+	}
+}
+
+func TestIndexSetTypeClassification(t *testing.T) {
+	if NewRange(0, 5).Type() != RangeIndex {
+		t.Error("range set should classify as range")
+	}
+	if NewList([]int{1, 2}).Type() != ListIndex {
+		t.Error("list set should classify as list")
+	}
+	if NewIndexSet().Type() != RangeIndex {
+		t.Error("empty set defaults to range")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for p := Policy(0); p < NumPolicies; p++ {
+		name := p.String()
+		got, ok := PolicyByName(name)
+		if !ok || got != p {
+			t.Errorf("PolicyByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := PolicyByName("cuda_exec"); ok {
+		t.Error("unknown policy name accepted")
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	if s := (Params{Policy: SeqExec}).String(); s != "seq_exec" {
+		t.Errorf("seq params = %q", s)
+	}
+	if s := (Params{Policy: OmpParallelForExec, Chunk: 64}).String(); s != "omp_parallel_for_exec/chunk=64" {
+		t.Errorf("omp params = %q", s)
+	}
+	if s := (Params{Policy: OmpParallelForExec}).String(); s != "omp_parallel_for_exec/chunk=default" {
+		t.Errorf("default-chunk params = %q", s)
+	}
+}
+
+func TestPolicySwitcherSeqAndOMPProduceSameResult(t *testing.T) {
+	tm := team.New(4)
+	defer tm.Close()
+	is := NewIndexSet(
+		RangeSegment{Begin: 0, End: 500},
+		ListSegment{Indices: []int{600, 601, 602}},
+	)
+	run := func(p Params) []int64 {
+		out := make([]int64, 1000)
+		PolicySwitcher(p, tm, is, func(i int) {
+			if i < len(out) {
+				out[i] = int64(i) * 3
+			}
+		})
+		return out
+	}
+	seq := run(Params{Policy: SeqExec})
+	for _, chunk := range []int{0, 1, 7, 64, 10000} {
+		omp := run(Params{Policy: OmpParallelForExec, Chunk: chunk})
+		if !reflect.DeepEqual(seq, omp) {
+			t.Errorf("chunk=%d: parallel result differs from sequential", chunk)
+		}
+	}
+}
+
+func TestPolicySwitcherNilTeamFallsBackToSeq(t *testing.T) {
+	is := NewRange(0, 10)
+	count := 0
+	PolicySwitcher(Params{Policy: OmpParallelForExec}, nil, is, func(i int) { count++ })
+	if count != 10 {
+		t.Errorf("nil-team parallel executed %d iterations, want 10", count)
+	}
+}
+
+func TestNewKernelAssignsUniqueIDs(t *testing.T) {
+	a := NewKernel("a", nil)
+	b := NewKernel("b", nil)
+	if a.ID == b.ID || a.ID == 0 {
+		t.Errorf("kernel IDs not unique: %d %d", a.ID, b.ID)
+	}
+	if a.Mix == nil {
+		t.Error("nil mix should be replaced with empty mix")
+	}
+}
+
+type fakeHooks struct {
+	params   Params
+	begins   int
+	ends     int
+	lastTime float64
+	override bool
+}
+
+func (h *fakeHooks) Begin(k *Kernel, iset *IndexSet) (Params, bool) {
+	h.begins++
+	return h.params, h.override
+}
+
+func (h *fakeHooks) End(k *Kernel, iset *IndexSet, p Params, elapsedNS float64) {
+	h.ends++
+	h.lastTime = elapsedNS
+}
+
+func TestForAllCallsHooksAndRunsBody(t *testing.T) {
+	clk := platform.NewSimClock(platform.SandyBridgeNode(), 0, 0)
+	ctx := NewSimContext(clk, Params{Policy: SeqExec})
+	h := &fakeHooks{params: Params{Policy: OmpParallelForExec}, override: true}
+	ctx.Hooks = h
+	k := NewKernel("test", instmix.NewMix().With(instmix.Add, 4))
+	count := 0
+	elapsed := ForAll(ctx, k, NewRange(0, 100), func(i int) { count++ })
+	if count != 100 {
+		t.Errorf("body ran %d times, want 100", count)
+	}
+	if h.begins != 1 || h.ends != 1 {
+		t.Errorf("hooks called begin=%d end=%d, want 1/1", h.begins, h.ends)
+	}
+	if elapsed <= 0 || h.lastTime != elapsed {
+		t.Errorf("elapsed %g not propagated to End (%g)", elapsed, h.lastTime)
+	}
+	if k.Invocations() != 1 {
+		t.Errorf("Invocations = %d, want 1", k.Invocations())
+	}
+}
+
+func TestForAllSimTimeFollowsPolicy(t *testing.T) {
+	clk := platform.NewSimClock(platform.SandyBridgeNode(), 0, 0)
+	mix := instmix.NewMix().With(instmix.Add, 8).With(instmix.Mulpd, 4)
+	k := NewKernel("poly", mix)
+	small := NewRange(0, 50)
+
+	seqCtx := NewSimContext(clk, Params{Policy: SeqExec})
+	ompCtx := NewSimContext(clk, Params{Policy: OmpParallelForExec})
+	tSeq := ForAll(seqCtx, k, small, func(int) {})
+	tOmp := ForAll(ompCtx, k, small, func(int) {})
+	if tSeq >= tOmp {
+		t.Errorf("small launch: seq (%g) should be faster than omp (%g)", tSeq, tOmp)
+	}
+}
+
+func TestForAllWallClockPath(t *testing.T) {
+	tm := team.New(2)
+	defer tm.Close()
+	ctx := &Context{Team: tm, Default: Params{Policy: OmpParallelForExec, Chunk: 16}}
+	k := NewKernel("wall", nil)
+	out := make([]int64, 1000)
+	elapsed := ForAll(ctx, k, NewRange(0, 1000), func(i int) { out[i] = int64(i) })
+	if elapsed < 0 {
+		t.Errorf("negative wall elapsed %g", elapsed)
+	}
+}
+
+func TestIndexSetLenMatchesIndicesProperty(t *testing.T) {
+	f := func(b1, n1, b2, n2 uint8) bool {
+		is := NewIndexSet(
+			RangeSegment{Begin: int(b1), End: int(b1) + int(n1)},
+			StridedRangeSegment{Begin: int(b2), End: int(b2) + int(n2), Str: 2},
+		)
+		return is.Len() == len(is.Indices())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// oddSegment is a custom Segment implementation exercising the generic
+// fallback paths of ForEach and the parallel executor.
+type oddSegment struct{ n int }
+
+func (s oddSegment) Len() int        { return s.n }
+func (s oddSegment) At(k int) int    { return 2*k + 1 }
+func (s oddSegment) Stride() int     { return 2 }
+func (s oddSegment) Type() IndexType { return ListIndex }
+
+func TestCustomSegmentFallbackPaths(t *testing.T) {
+	tm := team.New(2)
+	defer tm.Close()
+	is := NewIndexSet(oddSegment{n: 10})
+	if is.Len() != 10 || is.Stride() != 2 {
+		t.Fatal("custom segment metadata wrong")
+	}
+	want := []int{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}
+	if got := is.Indices(); !reflect.DeepEqual(got, want) {
+		t.Errorf("sequential fallback = %v", got)
+	}
+	hits := make([]int32, 20)
+	PolicySwitcher(Params{Policy: OmpParallelForExec, Chunk: 3}, tm, is, func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for _, w := range want {
+		if hits[w] != 1 {
+			t.Errorf("index %d executed %d times under parallel fallback", w, hits[w])
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package search
+
+import (
+	"testing"
+
+	"apollo/internal/instmix"
+	"apollo/internal/platform"
+	"apollo/internal/raja"
+)
+
+func TestDefaultCandidatesCoverGrid(t *testing.T) {
+	cands := DefaultCandidates()
+	if len(cands) != 2+len(raja.ChunkSizes) {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	if cands[0].Policy != raja.SeqExec {
+		t.Error("first candidate should be sequential")
+	}
+}
+
+func TestSearchConvergesToFastCandidate(t *testing.T) {
+	// Two candidates: seq (fast for this kernel) and omp (slow).
+	s := New(Config{
+		Candidates: []raja.Params{
+			{Policy: raja.SeqExec},
+			{Policy: raja.OmpParallelForExec},
+		},
+		TrialsPerCandidate: 2,
+	})
+	clk := platform.NewSimClock(platform.SandyBridgeNode(), 0, 0)
+	ctx := raja.NewSimContext(clk, raja.Params{})
+	ctx.Hooks = s
+	k := raja.NewKernel("small", instmix.NewMix().With(instmix.Add, 4))
+
+	// Small launches: sequential always wins.
+	for i := 0; i < 10; i++ {
+		raja.ForAll(ctx, k, raja.NewRange(0, 64), func(int) {})
+	}
+	if !s.Converged(k.ID) {
+		t.Fatal("search did not converge after exploring all candidates")
+	}
+	p, _ := s.Begin(k, raja.NewRange(0, 64))
+	if p.Policy != raja.SeqExec {
+		t.Errorf("converged to %v, want seq", p)
+	}
+	if s.ExplorationNS() <= 0 {
+		t.Error("exploration cost not accounted")
+	}
+}
+
+func TestSearchPaysExplorationCost(t *testing.T) {
+	// During exploration the searcher must run the slow candidate too;
+	// its total time should exceed an oracle that always runs seq.
+	machine := platform.SandyBridgeNode()
+	mix := instmix.NewMix().With(instmix.Add, 4)
+	k := raja.NewKernel("explore", mix)
+	n := 64
+
+	s := New(Config{TrialsPerCandidate: 3})
+	clk := platform.NewSimClock(machine, 0, 0)
+	ctx := raja.NewSimContext(clk, raja.Params{})
+	ctx.Hooks = s
+	launches := s.TrialsToConverge() + 10
+	for i := 0; i < launches; i++ {
+		raja.ForAll(ctx, k, raja.NewRange(0, n), func(int) {})
+	}
+	searchTime := clk.NowNS()
+	oracle := machine.SeqTimeNS(mix, n) * float64(launches)
+	if searchTime <= oracle {
+		t.Errorf("search total %g should exceed oracle %g (exploration cost)", searchTime, oracle)
+	}
+}
+
+func TestSearchPerKernelState(t *testing.T) {
+	s := New(Config{TrialsPerCandidate: 1, Candidates: []raja.Params{
+		{Policy: raja.SeqExec}, {Policy: raja.OmpParallelForExec},
+	}})
+	clk := platform.NewSimClock(platform.SandyBridgeNode(), 0, 0)
+	ctx := raja.NewSimContext(clk, raja.Params{})
+	ctx.Hooks = s
+	k1 := raja.NewKernel("k1", nil)
+	k2 := raja.NewKernel("k2", nil)
+	raja.ForAll(ctx, k1, raja.NewRange(0, 10), func(int) {})
+	raja.ForAll(ctx, k1, raja.NewRange(0, 10), func(int) {})
+	if !s.Converged(k1.ID) {
+		t.Error("k1 should have converged")
+	}
+	if s.Converged(k2.ID) {
+		t.Error("k2 never ran; must not be converged")
+	}
+}
+
+func TestReexplorationAdaptsToDrift(t *testing.T) {
+	// The kernel's best policy flips after a "phase change". With
+	// re-exploration enabled the searcher eventually re-commits.
+	s := New(Config{
+		Candidates: []raja.Params{
+			{Policy: raja.SeqExec},
+			{Policy: raja.OmpParallelForExec},
+		},
+		TrialsPerCandidate: 1,
+		ReexploreEvery:     5,
+	})
+	machine := platform.SandyBridgeNode()
+	clk := platform.NewSimClock(machine, 0, 0)
+	ctx := raja.NewSimContext(clk, raja.Params{})
+	ctx.Hooks = s
+	k := raja.NewKernel("drift", instmix.NewMix().With(instmix.Add, 6))
+
+	// Phase 1: tiny launches -> seq wins.
+	for i := 0; i < 7; i++ {
+		raja.ForAll(ctx, k, raja.NewRange(0, 32), func(int) {})
+	}
+	p, _ := s.Begin(k, raja.NewRange(0, 32))
+	if p.Policy != raja.SeqExec {
+		t.Fatalf("phase 1 converged to %v", p)
+	}
+	// Phase 2: huge launches -> omp wins after re-exploration.
+	for i := 0; i < 30; i++ {
+		raja.ForAll(ctx, k, raja.NewRange(0, 1<<20), func(int) {})
+	}
+	p, _ = s.Begin(k, raja.NewRange(0, 1<<20))
+	if p.Policy != raja.OmpParallelForExec {
+		t.Errorf("after drift, converged to %v, want omp", p)
+	}
+}
+
+func TestTrialsToConverge(t *testing.T) {
+	s := New(Config{TrialsPerCandidate: 3})
+	want := len(DefaultCandidates()) * 3
+	if s.TrialsToConverge() != want {
+		t.Errorf("TrialsToConverge = %d, want %d", s.TrialsToConverge(), want)
+	}
+}

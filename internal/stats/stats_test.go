@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedianMinMax(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if Median(xs) != 2.5 {
+		t.Errorf("Median = %g", Median(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 4 {
+		t.Error("Min/Max wrong")
+	}
+	if Sum(xs) != 10 {
+		t.Errorf("Sum = %g", Sum(xs))
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty inputs should all return 0")
+	}
+	if v := Variate(nil); v.Ratio != 0 {
+		t.Error("empty variation should be zero")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %g", g)
+	}
+	if GeoMean([]float64{2, -1}) != 0 {
+		t.Error("non-positive values should yield 0")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if p := Percentile(xs, 0); p != 10 {
+		t.Errorf("P0 = %g", p)
+	}
+	if p := Percentile(xs, 100); p != 40 {
+		t.Errorf("P100 = %g", p)
+	}
+	if p := Percentile(xs, 50); p != 25 {
+		t.Errorf("P50 = %g", p)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if s := StdDev([]float64{2, 2, 2}); s != 0 {
+		t.Errorf("constant stddev = %g", s)
+	}
+	if s := StdDev([]float64{1, 3}); math.Abs(s-1) > 1e-12 {
+		t.Errorf("StdDev(1,3) = %g, want 1", s)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-element stddev should be 0")
+	}
+}
+
+func TestVariate(t *testing.T) {
+	v := Variate([]float64{100, 1000, 10000})
+	if v.MinNS != 100 || v.MaxNS != 10000 || v.Ratio != 100 {
+		t.Errorf("Variate = %+v", v)
+	}
+}
+
+func TestPercentileOrderedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p25 := Percentile(raw, 25)
+		p75 := Percentile(raw, 75)
+		return p25 <= p75 && p25 >= Min(raw) && p75 <= Max(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			// Skip pathological magnitudes whose sum overflows.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e300 {
+				return true
+			}
+		}
+		m := Mean(raw)
+		return m >= Min(raw)-1e-9 && m <= Max(raw)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatNS(t *testing.T) {
+	cases := map[float64]string{
+		5:       "5ns",
+		5e3:     "5us",
+		5e6:     "5ms",
+		2.5e9:   "2.5s",
+		1.234e6: "1.23ms",
+	}
+	for in, want := range cases {
+		if got := FormatNS(in); got != want {
+			t.Errorf("FormatNS(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package team implements a persistent goroutine worker team with
+// OpenMP-style static chunked scheduling.
+//
+// It is the execution substrate behind the parallel RAJA policies in this
+// repository, playing the role OpenMP plays in the paper: a parallel-for
+// with a fixed fork/join cost, a static schedule, and a tunable chunk
+// parameter controlling how many consecutive iterations each assignment
+// hands to a worker (the paper's second tuning parameter). Workers persist
+// across parallel regions, as OpenMP threads do, so the fork cost is a
+// wakeup, not a thread spawn.
+package team
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// task describes one parallel-for region dispatched to the team.
+type task struct {
+	lo, hi int // iteration space [lo, hi)
+	chunk  int
+	body   func(i int)
+	wg     *sync.WaitGroup
+}
+
+// Team is a fixed-size pool of worker goroutines executing parallel-for
+// regions with static chunked scheduling. A Team must be created with New
+// and released with Close. Only one parallel region may execute at a time
+// (matching a single OpenMP thread team); ParallelFor is not reentrant.
+type Team struct {
+	size    int
+	work    []chan task
+	closed  atomic.Bool
+	regions atomic.Uint64
+}
+
+// New creates a team with n workers. If n <= 0, runtime.GOMAXPROCS(0)
+// workers are created.
+func New(n int) *Team {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	t := &Team{size: n, work: make([]chan task, n)}
+	for w := 0; w < n; w++ {
+		t.work[w] = make(chan task, 1)
+		go t.worker(w)
+	}
+	return t
+}
+
+// Size returns the number of workers in the team.
+func (t *Team) Size() int { return t.size }
+
+// Regions returns the number of parallel regions executed so far.
+func (t *Team) Regions() uint64 { return t.regions.Load() }
+
+func (t *Team) worker(id int) {
+	for tk := range t.work[id] {
+		runChunks(id, t.size, tk)
+		tk.wg.Done()
+	}
+}
+
+// runChunks executes worker w's share of the task under static round-robin
+// chunk assignment: worker w runs chunks w, w+size, w+2*size, ...
+func runChunks(w, size int, tk task) {
+	n := tk.hi - tk.lo
+	if n <= 0 {
+		return
+	}
+	chunk := tk.chunk
+	nchunks := (n + chunk - 1) / chunk
+	for c := w; c < nchunks; c += size {
+		start := tk.lo + c*chunk
+		end := start + chunk
+		if end > tk.hi {
+			end = tk.hi
+		}
+		for i := start; i < end; i++ {
+			tk.body(i)
+		}
+	}
+}
+
+// ParallelFor executes body(i) for every i in [lo, hi) across the team
+// using a static schedule with the given chunk size. A chunk of 0 or less
+// selects the OpenMP default, ceil(n/workers). ParallelFor blocks until
+// every iteration has completed (the join barrier).
+func (t *Team) ParallelFor(lo, hi, chunk int, body func(i int)) {
+	if t.closed.Load() {
+		panic("team: ParallelFor on closed Team")
+	}
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = (n + t.size - 1) / t.size
+	}
+	t.regions.Add(1)
+	var wg sync.WaitGroup
+	wg.Add(t.size)
+	tk := task{lo: lo, hi: hi, chunk: chunk, body: body, wg: &wg}
+	for w := 0; w < t.size; w++ {
+		t.work[w] <- tk
+	}
+	wg.Wait()
+}
+
+// Close shuts the team's workers down. The team must not be used after
+// Close. Close is idempotent.
+func (t *Team) Close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	for _, ch := range t.work {
+		close(ch)
+	}
+}
+
+// ChunkAssignment reports, for an iteration space of n with the given
+// chunk size and worker count, how many chunks and iterations each worker
+// receives. It exists so tests and the machine model can agree on the
+// schedule's load-balance properties.
+func ChunkAssignment(n, chunk, workers int) (chunksPerWorker, itersPerWorker []int) {
+	if workers <= 0 {
+		panic(fmt.Sprintf("team: ChunkAssignment with %d workers", workers))
+	}
+	chunksPerWorker = make([]int, workers)
+	itersPerWorker = make([]int, workers)
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = (n + workers - 1) / workers
+	}
+	nchunks := (n + chunk - 1) / chunk
+	for c := 0; c < nchunks; c++ {
+		w := c % workers
+		chunksPerWorker[w]++
+		iters := chunk
+		if (c+1)*chunk > n {
+			iters = n - c*chunk
+		}
+		itersPerWorker[w] += iters
+	}
+	return
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"apollo/internal/instmix"
+	"apollo/internal/platform"
+	"apollo/internal/raja"
+)
+
+func tracedRun(t *testing.T, limit int) *Tracer {
+	t.Helper()
+	tr := New(nil, limit)
+	clk := platform.NewSimClock(platform.SandyBridgeNode(), 0, 0)
+	ctx := raja.NewSimContext(clk, raja.Params{Policy: raja.SeqExec})
+	ctx.Hooks = tr
+	kSmall := raja.NewKernel("trace::small", instmix.NewMix().With(instmix.Add, 2))
+	kBig := raja.NewKernel("trace::big", instmix.NewMix().With(instmix.Add, 2))
+	for i := 0; i < 3; i++ {
+		raja.ForAll(ctx, kSmall, raja.NewRange(0, 10), func(int) {})
+	}
+	ctxPar := raja.NewSimContext(clk, raja.Params{Policy: raja.OmpParallelForExec})
+	ctxPar.Hooks = tr
+	raja.ForAll(ctxPar, kBig, raja.NewRange(0, 100000), func(int) {})
+	return tr
+}
+
+func TestTracerRecordsTimeline(t *testing.T) {
+	tr := tracedRun(t, 0)
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("recorded %d events, want 4", len(events))
+	}
+	// Events must be contiguous: each starts where the previous ended.
+	for i := 1; i < len(events); i++ {
+		wantStart := events[i-1].StartNS + events[i-1].DurationNS
+		if events[i].StartNS != wantStart {
+			t.Errorf("event %d starts at %g, want %g", i, events[i].StartNS, wantStart)
+		}
+	}
+	if events[0].Params.Policy != raja.SeqExec {
+		t.Error("first event should be sequential")
+	}
+	if events[3].Params.Policy != raja.OmpParallelForExec {
+		t.Error("last event should be parallel")
+	}
+	if events[3].Iterations != 100000 {
+		t.Errorf("iterations = %d", events[3].Iterations)
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	tr := tracedRun(t, 2)
+	if tr.Len() != 2 {
+		t.Errorf("limit not enforced: %d events", tr.Len())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := tracedRun(t, 0)
+	sums := Summarize(tr.Events())
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	// Sorted by total time: the big parallel kernel first.
+	if sums[0].Kernel != "trace::big" {
+		t.Errorf("first summary = %s", sums[0].Kernel)
+	}
+	small := sums[1]
+	if small.Launches != 3 || small.SeqCount != 3 || small.ParCount != 0 {
+		t.Errorf("small summary wrong: %+v", small)
+	}
+	if small.MinIter != 10 || small.MaxIter != 10 || small.MeanIters != 10 {
+		t.Errorf("iteration stats wrong: %+v", small)
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	tr := tracedRun(t, 0)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(decoded) != 4 {
+		t.Fatalf("trace has %d entries", len(decoded))
+	}
+	first := decoded[0]
+	if first["ph"] != "X" || first["name"] != "trace::small" {
+		t.Errorf("first entry wrong: %v", first)
+	}
+	// Sequential and parallel launches use separate tracks.
+	tids := map[float64]bool{}
+	for _, e := range decoded {
+		tids[e["tid"].(float64)] = true
+	}
+	if !tids[0] || !tids[1] {
+		t.Error("expected both seq (tid 0) and parallel (tid 1) tracks")
+	}
+}
+
+func TestSaveChromeTrace(t *testing.T) {
+	tr := tracedRun(t, 0)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := SaveChromeTrace(path, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerDelegates(t *testing.T) {
+	inner := &countingHooks{}
+	tr := New(inner, 0)
+	k := raja.NewKernel("trace::delegate", nil)
+	if p, ok := tr.Begin(k, raja.NewRange(0, 5)); !ok || p.Policy != raja.SeqExec {
+		t.Error("Begin not delegated")
+	}
+	tr.End(k, raja.NewRange(0, 5), raja.Params{}, 10)
+	if inner.begins != 1 || inner.ends != 1 {
+		t.Error("inner hooks not called")
+	}
+}
+
+type countingHooks struct{ begins, ends int }
+
+func (h *countingHooks) Begin(k *raja.Kernel, iset *raja.IndexSet) (raja.Params, bool) {
+	h.begins++
+	return raja.Params{Policy: raja.SeqExec}, true
+}
+
+func (h *countingHooks) End(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, ns float64) {
+	h.ends++
+}

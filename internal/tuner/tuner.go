@@ -1,0 +1,229 @@
+// Package tuner provides the two runtime Apollo components the paper
+// loads behind RAJA's apollo::begin / apollo::end hooks:
+//
+//   - Recorder collects a Table I feature vector and the measured runtime
+//     of every kernel execution into a training-data frame, while forcing
+//     the parameter variant under test (training runs execute the whole
+//     problem once per candidate parameter value);
+//   - Tuner evaluates trained decision models at every launch and writes
+//     the predicted execution parameters to the blackboard for the
+//     policy switcher to consume.
+//
+// Both implement raja.Hooks, so the same application binary runs in either
+// recording or tuning mode just by installing a different component —
+// the decoupling the paper gets from dynamic loading.
+package tuner
+
+import (
+	"sync"
+
+	"apollo/internal/caliper"
+	"apollo/internal/core"
+	"apollo/internal/dataset"
+	"apollo/internal/features"
+	"apollo/internal/raja"
+)
+
+// Recorder captures one training sample per kernel execution.
+type Recorder struct {
+	schema *features.Schema
+	ann    *caliper.Annotations
+	sweep  raja.Params
+
+	mu    sync.Mutex
+	frame *dataset.Frame
+	row   []float64
+}
+
+// NewRecorder returns a recorder that forces every launch to use the
+// sweep parameters and records samples against the given schema and
+// annotation blackboard.
+func NewRecorder(schema *features.Schema, ann *caliper.Annotations, sweep raja.Params) *Recorder {
+	return &Recorder{
+		schema: schema,
+		ann:    ann,
+		sweep:  sweep,
+		frame:  dataset.NewFrame(core.RecordColumns(schema)...),
+		row:    make([]float64, schema.Len()+3),
+	}
+}
+
+// Begin forces the sweep parameters for the launch.
+func (r *Recorder) Begin(k *raja.Kernel, iset *raja.IndexSet) (raja.Params, bool) {
+	return r.sweep, true
+}
+
+// End appends the sample: the feature vector, the parameters used, and
+// the elapsed time.
+func (r *Recorder) End(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, elapsedNS float64) {
+	x := r.schema.Extract(k, iset, r.ann)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	copy(r.row, x)
+	n := r.schema.Len()
+	r.row[n] = float64(p.Policy)
+	r.row[n+1] = float64(p.Chunk)
+	r.row[n+2] = elapsedNS
+	r.frame.AddRow(r.row)
+}
+
+// Frame returns the recorded samples.
+func (r *Recorder) Frame() *dataset.Frame {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frame
+}
+
+// Samples returns the number of recorded samples.
+func (r *Recorder) Samples() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frame.Len()
+}
+
+// Tuner evaluates trained models at every kernel launch. A policy model,
+// a chunk model, or both may be installed; absent models leave the
+// corresponding parameter at its base value.
+type Tuner struct {
+	schema *features.Schema
+	ann    *caliper.Annotations
+	base   raja.Params
+
+	policyProj *core.Projector
+	chunkProj  *core.Projector
+
+	mu        sync.Mutex
+	decisions uint64
+	x         []float64
+}
+
+// NewTuner returns a tuner extracting features against the given schema
+// and blackboard, starting from base parameters.
+func NewTuner(schema *features.Schema, ann *caliper.Annotations, base raja.Params) *Tuner {
+	return &Tuner{schema: schema, ann: ann, base: base, x: make([]float64, schema.Len())}
+}
+
+// UsePolicyModel installs a model predicting the execution policy.
+func (t *Tuner) UsePolicyModel(m *core.Model) *Tuner {
+	if m.Param != core.ExecutionPolicy {
+		panic("tuner: UsePolicyModel with a non-policy model")
+	}
+	t.policyProj = m.NewProjector(t.schema)
+	return t
+}
+
+// UseChunkModel installs a model predicting the OpenMP chunk size.
+func (t *Tuner) UseChunkModel(m *core.Model) *Tuner {
+	if m.Param != core.ChunkSize {
+		panic("tuner: UseChunkModel with a non-chunk model")
+	}
+	t.chunkProj = m.NewProjector(t.schema)
+	return t
+}
+
+// Begin extracts the launch's features, evaluates the installed models,
+// and returns the predicted parameters.
+func (t *Tuner) Begin(k *raja.Kernel, iset *raja.IndexSet) (raja.Params, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.decisions++
+	x := t.schema.Extract(k, iset, t.ann)
+	copy(t.x, x)
+	params := t.base
+	if t.policyProj != nil {
+		params.Policy = raja.Policy(t.policyProj.Predict(t.x))
+	}
+	if t.chunkProj != nil {
+		class := t.chunkProj.Predict(t.x)
+		if class >= 0 && class < len(raja.ChunkSizes) {
+			params.Chunk = raja.ChunkSizes[class]
+		}
+	}
+	return params, true
+}
+
+// End is a no-op for the tuner.
+func (t *Tuner) End(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, elapsedNS float64) {}
+
+// Decisions returns how many launches the tuner has parameterized.
+func (t *Tuner) Decisions() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.decisions
+}
+
+// KernelStat accumulates the observed cost of one kernel.
+type KernelStat struct {
+	Name    string
+	Count   int
+	TotalNS float64
+	MinNS   float64
+	MaxNS   float64
+}
+
+// Collector wraps another Hooks implementation (or none) and accumulates
+// per-kernel timing totals, which the harness uses to find each
+// application's most time-consuming and most variable kernels.
+type Collector struct {
+	Inner raja.Hooks
+
+	mu    sync.Mutex
+	stats map[string]*KernelStat
+}
+
+// NewCollector returns a collector delegating to inner (which may be nil).
+func NewCollector(inner raja.Hooks) *Collector {
+	return &Collector{Inner: inner, stats: make(map[string]*KernelStat)}
+}
+
+// Begin delegates to the inner hooks.
+func (c *Collector) Begin(k *raja.Kernel, iset *raja.IndexSet) (raja.Params, bool) {
+	if c.Inner != nil {
+		return c.Inner.Begin(k, iset)
+	}
+	return raja.Params{}, false
+}
+
+// End records the sample and delegates.
+func (c *Collector) End(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, elapsedNS float64) {
+	c.mu.Lock()
+	st := c.stats[k.Name]
+	if st == nil {
+		st = &KernelStat{Name: k.Name, MinNS: elapsedNS, MaxNS: elapsedNS}
+		c.stats[k.Name] = st
+	}
+	st.Count++
+	st.TotalNS += elapsedNS
+	if elapsedNS < st.MinNS {
+		st.MinNS = elapsedNS
+	}
+	if elapsedNS > st.MaxNS {
+		st.MaxNS = elapsedNS
+	}
+	c.mu.Unlock()
+	if c.Inner != nil {
+		c.Inner.End(k, iset, p, elapsedNS)
+	}
+}
+
+// Stats returns a snapshot of the per-kernel statistics.
+func (c *Collector) Stats() map[string]KernelStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]KernelStat, len(c.stats))
+	for name, st := range c.stats {
+		out[name] = *st
+	}
+	return out
+}
+
+// TotalNS returns the total observed kernel time.
+func (c *Collector) TotalNS() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total float64
+	for _, st := range c.stats {
+		total += st.TotalNS
+	}
+	return total
+}

@@ -1,0 +1,201 @@
+package tuner
+
+import (
+	"testing"
+
+	"apollo/internal/caliper"
+	"apollo/internal/core"
+	"apollo/internal/dataset"
+	"apollo/internal/features"
+	"apollo/internal/instmix"
+	"apollo/internal/platform"
+	"apollo/internal/raja"
+)
+
+func simContext(hooks raja.Hooks, def raja.Params) *raja.Context {
+	clk := platform.NewSimClock(platform.SandyBridgeNode(), 0, 0)
+	ctx := raja.NewSimContext(clk, def)
+	ctx.Hooks = hooks
+	return ctx
+}
+
+func TestRecorderForcesSweepAndRecords(t *testing.T) {
+	schema := features.TableI()
+	ann := caliper.New()
+	ann.Set(features.Timestep, 3)
+	sweep := raja.Params{Policy: raja.OmpParallelForExec, Chunk: 64}
+	rec := NewRecorder(schema, ann, sweep)
+	ctx := simContext(rec, raja.Params{Policy: raja.SeqExec})
+
+	k := raja.NewKernel("stress", instmix.NewMix().With(instmix.Add, 6))
+	raja.ForAll(ctx, k, raja.NewRange(0, 100), func(int) {})
+	raja.ForAll(ctx, k, raja.NewRange(0, 200), func(int) {})
+
+	if rec.Samples() != 2 {
+		t.Fatalf("recorded %d samples, want 2", rec.Samples())
+	}
+	frame := rec.Frame()
+	if got := frame.At(0, core.ColPolicy); got != float64(raja.OmpParallelForExec) {
+		t.Errorf("policy column = %g, want forced omp", got)
+	}
+	if got := frame.At(0, core.ColChunk); got != 64 {
+		t.Errorf("chunk column = %g, want 64", got)
+	}
+	if frame.At(0, core.ColTimeNS) <= 0 {
+		t.Error("time_ns not recorded")
+	}
+	if got := frame.At(1, features.NumIndices); got != 200 {
+		t.Errorf("num_indices = %g, want 200", got)
+	}
+	if got := frame.At(0, features.Timestep); got != 3 {
+		t.Errorf("timestep = %g, want 3", got)
+	}
+}
+
+func trainPolicyModel(t *testing.T, schema *features.Schema) *core.Model {
+	t.Helper()
+	frame := dataset.NewFrame(core.RecordColumns(schema)...)
+	ni := schema.Index(features.NumIndices)
+	for _, n := range []int{32, 128, 512, 2048, 8192, 32768, 131072} {
+		seqRow := make([]float64, schema.Len()+3)
+		ompRow := make([]float64, schema.Len()+3)
+		seqRow[ni], ompRow[ni] = float64(n), float64(n)
+		seqRow[schema.Len()] = float64(raja.SeqExec)
+		ompRow[schema.Len()] = float64(raja.OmpParallelForExec)
+		seqRow[schema.Len()+2] = float64(n) * 10
+		ompRow[schema.Len()+2] = 8000 + float64(n)*10/8
+		frame.AddRow(seqRow)
+		frame.AddRow(ompRow)
+	}
+	set, err := core.Label(frame, schema, core.ExecutionPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Train(set, core.TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTunerSelectsPolicyByIterationCount(t *testing.T) {
+	schema := features.TableI()
+	model := trainPolicyModel(t, schema)
+	ann := caliper.New()
+	tn := NewTuner(schema, ann, raja.Params{Policy: raja.OmpParallelForExec}).UsePolicyModel(model)
+
+	k := raja.NewKernel("k", nil)
+	small, ok := tn.Begin(k, raja.NewRange(0, 50))
+	if !ok || small.Policy != raja.SeqExec {
+		t.Errorf("small launch tuned to %v, want seq", small)
+	}
+	large, _ := tn.Begin(k, raja.NewRange(0, 100000))
+	if large.Policy != raja.OmpParallelForExec {
+		t.Errorf("large launch tuned to %v, want omp", large)
+	}
+	if tn.Decisions() != 2 {
+		t.Errorf("decisions = %d, want 2", tn.Decisions())
+	}
+}
+
+func TestTunerPreservesBaseChunkWithoutChunkModel(t *testing.T) {
+	schema := features.TableI()
+	model := trainPolicyModel(t, schema)
+	tn := NewTuner(schema, caliper.New(), raja.Params{Policy: raja.SeqExec, Chunk: 128}).UsePolicyModel(model)
+	p, _ := tn.Begin(raja.NewKernel("k", nil), raja.NewRange(0, 1000000))
+	if p.Chunk != 128 {
+		t.Errorf("chunk = %d, want preserved 128", p.Chunk)
+	}
+}
+
+func TestUsePolicyModelRejectsWrongParam(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-parameter model should panic")
+		}
+	}()
+	schema := features.TableI()
+	NewTuner(schema, caliper.New(), raja.Params{}).UsePolicyModel(&core.Model{Param: core.ChunkSize})
+}
+
+func TestEndToEndRecordTrainTune(t *testing.T) {
+	schema := features.TableI()
+	ann := caliper.New()
+	mix := instmix.NewMix().With(instmix.Add, 6).With(instmix.Mulpd, 4).With(instmix.Movsd, 8)
+	k := raja.NewKernel("roundtrip", mix)
+	sizes := []int{16, 64, 256, 1024, 4096, 16384, 65536, 262144}
+
+	// Record one run per policy variant, as the paper's training does.
+	frame := dataset.NewFrame(core.RecordColumns(schema)...)
+	for _, pol := range []raja.Policy{raja.SeqExec, raja.OmpParallelForExec} {
+		rec := NewRecorder(schema, ann, raja.Params{Policy: pol})
+		ctx := simContext(rec, raja.Params{})
+		for _, n := range sizes {
+			raja.ForAll(ctx, k, raja.NewRange(0, n), func(int) {})
+		}
+		frame.Append(rec.Frame())
+	}
+
+	set, err := core.Label(frame, schema, core.ExecutionPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.Train(set, core.TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tuned execution must beat static OpenMP-everywhere on this mix of
+	// small and large launches.
+	machine := platform.SandyBridgeNode()
+	run := func(hooks raja.Hooks, def raja.Params) float64 {
+		clk := platform.NewSimClock(machine, 0, 0)
+		ctx := raja.NewSimContext(clk, def)
+		ctx.Hooks = hooks
+		for _, n := range sizes {
+			raja.ForAll(ctx, k, raja.NewRange(0, n), func(int) {})
+		}
+		return clk.NowNS()
+	}
+	tuned := run(NewTuner(schema, ann, raja.Params{Policy: raja.OmpParallelForExec}).UsePolicyModel(model), raja.Params{})
+	static := run(nil, raja.Params{Policy: raja.OmpParallelForExec})
+	if tuned >= static {
+		t.Errorf("tuned time %g should beat static omp %g", tuned, static)
+	}
+}
+
+func TestCollectorAccumulates(t *testing.T) {
+	col := NewCollector(nil)
+	ctx := simContext(col, raja.Params{Policy: raja.SeqExec})
+	k1 := raja.NewKernel("a", instmix.NewMix().With(instmix.Add, 2))
+	k2 := raja.NewKernel("b", instmix.NewMix().With(instmix.Add, 2))
+	raja.ForAll(ctx, k1, raja.NewRange(0, 100), func(int) {})
+	raja.ForAll(ctx, k1, raja.NewRange(0, 1000), func(int) {})
+	raja.ForAll(ctx, k2, raja.NewRange(0, 10), func(int) {})
+
+	st := col.Stats()
+	if st["a"].Count != 2 || st["b"].Count != 1 {
+		t.Errorf("counts wrong: %+v", st)
+	}
+	if st["a"].MaxNS <= st["a"].MinNS {
+		t.Error("min/max not tracked")
+	}
+	if col.TotalNS() <= 0 {
+		t.Error("total not tracked")
+	}
+}
+
+func TestCollectorDelegates(t *testing.T) {
+	schema := features.TableI()
+	rec := NewRecorder(schema, caliper.New(), raja.Params{Policy: raja.SeqExec})
+	col := NewCollector(rec)
+	ctx := simContext(col, raja.Params{Policy: raja.OmpParallelForExec})
+	raja.ForAll(ctx, raja.NewKernel("k", nil), raja.NewRange(0, 10), func(int) {})
+	if rec.Samples() != 1 {
+		t.Error("collector did not delegate to inner hooks")
+	}
+	// The recorder's forced policy must win through the collector.
+	if rec.Frame().At(0, core.ColPolicy) != float64(raja.SeqExec) {
+		t.Error("inner Begin override lost")
+	}
+}
