@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench results quick-results cover clean
+.PHONY: all build test race bench results quick-results cover clean serve-smoke
 
 all: build test
 
@@ -29,6 +29,11 @@ quick-results:
 
 cover:
 	$(GO) test -cover ./...
+
+# End-to-end smoke test of the model service against a real daemon:
+# record -> train -> push -> predict -> metrics -> shutdown.
+serve-smoke:
+	GO="$(GO)" ./scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

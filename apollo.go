@@ -201,8 +201,29 @@ func NewRecorder(schema *Schema, ann *Annotations, sweep Params) *Recorder {
 	return tuner.NewRecorder(schema, ann, sweep)
 }
 
+// Model serving. A tuner's projector reads go through a ModelSource,
+// which may atomically hot-swap a retrained model into a running
+// application (Tuner.UseSource). The HTTP service side — registry
+// daemon, serving client — lives in cmd/apollo-serve and the internal
+// registry/server/client packages; see DESIGN.md "Serving trained
+// models".
+type (
+	// ModelSource supplies a tuner's current projectors; implementations
+	// may swap the set at any time and must be safe for concurrent reads.
+	ModelSource = tuner.ModelSource
+	// ProjectorSet is one immutable policy/chunk projector pair.
+	ProjectorSet = tuner.Projectors
+	// SwapSource is the trivial ModelSource: an atomically swappable
+	// projector set, for embedding applications that manage models by hand.
+	SwapSource = tuner.SwapSource
+	// ModelEnvelope is the stable versioned wire/disk form of a published
+	// model (name, version, schema hash, model).
+	ModelEnvelope = core.Envelope
+)
+
 // NewTuner returns a tuner starting from base parameters; install models
-// with UsePolicyModel / UseChunkModel.
+// with UsePolicyModel / UseChunkModel, or route reads through a serving
+// client with UseSource.
 func NewTuner(schema *Schema, ann *Annotations, base Params) *Tuner {
 	return tuner.NewTuner(schema, ann, base)
 }

@@ -171,3 +171,26 @@ func TestTraceFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestModelSourceFacade hot-swaps a projector set through the public
+// SwapSource/UseSource surface.
+func TestModelSourceFacade(t *testing.T) {
+	schema := apollo.TableISchema()
+	var src apollo.SwapSource
+	base := apollo.Params{Policy: apollo.SeqExec}
+	tn := apollo.NewTuner(schema, apollo.NewAnnotations(), base).UseSource(&src)
+	k := apollo.NewKernel("facade::source", nil)
+
+	// Empty source: base parameters.
+	if p, ok := tn.Begin(k, apollo.NewRange(0, 8)); !ok || p != base {
+		t.Fatalf("empty source gave %+v", p)
+	}
+	var ms apollo.ModelSource = &src
+	if ms.Projectors() == nil {
+		t.Fatal("SwapSource returned nil projector set")
+	}
+	src.Store(&apollo.ProjectorSet{})
+	if p, _ := tn.Begin(k, apollo.NewRange(0, 8)); p != base {
+		t.Fatalf("empty projector set gave %+v", p)
+	}
+}

@@ -223,3 +223,20 @@ func compileFunc(m *core.Model) func([]float64, raja.Params) raja.Params {
 		return base
 	}
 }
+
+// BenchmarkTunerDecisionParallel drives one tuner from all procs at
+// once: Begin is lock-free, so throughput should scale instead of
+// serializing on a mutex.
+func BenchmarkTunerDecisionParallel(b *testing.B) {
+	model, schema := trainedBenchModel(b)
+	ann := caliper.New()
+	ann.Set(features.Timestep, 10)
+	tn := tuner.NewTuner(schema, ann, raja.Params{}).UsePolicyModel(model)
+	iset := raja.NewRange(0, 5000)
+	b.RunParallel(func(pb *testing.PB) {
+		k := raja.NewKernel("bench::decision-par", nil)
+		for pb.Next() {
+			tn.Begin(k, iset)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+// Command apollo-serve is the Apollo model service daemon: a versioned,
+// disk-backed model registry behind an HTTP JSON API. Training pipelines
+// push retrained models to it (apollo-train -push), application processes
+// fetch and hot-swap them through the client, and operators can drop
+// model files straight into the registry directory — the polling watcher
+// publishes them to every connected tuner without a restart.
+//
+//	apollo-serve -addr 127.0.0.1:8080 -dir ./models
+//
+//	PUT  /models/{name}   publish (bare model JSON or versioned envelope)
+//	GET  /models/{name}   fetch current version (ETag conditional GET)
+//	GET  /models          list models
+//	POST /predict         evaluate: {"model":..., "x":[...]} |
+//	                      {"batch":[[...],...]} | {"features":{name:v}}
+//	GET  /healthz         liveness
+//	GET  /metrics         Prometheus text format
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"apollo/internal/registry"
+	"apollo/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	dir := flag.String("dir", "apollo-models", "registry directory (versioned model files)")
+	poll := flag.Duration("poll", 2*time.Second, "watcher poll interval for external model-file changes (0 disables)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *dir, *poll, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "apollo-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is canceled. ready, if non-nil, is called with the
+// bound listener address once the server is accepting connections (tests
+// and port-0 wrappers use it to learn the actual port).
+func run(ctx context.Context, addr, dir string, poll time.Duration, ready func(net.Addr)) error {
+	reg, err := registry.Open(dir)
+	if err != nil {
+		return err
+	}
+	srv := server.New(reg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is machine-readable: smoke tests and
+	// wrapper scripts parse it to find a port-0 listener.
+	fmt.Printf("apollo-serve: listening on http://%s (registry %s, %d models)\n",
+		ln.Addr(), dir, reg.Len())
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	go reg.Watch(ctx, poll, func(n int) {
+		srv.NoteReload(n)
+		fmt.Printf("apollo-serve: hot-reloaded %d model(s) from %s\n", n, dir)
+	})
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("apollo-serve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"apollo/internal/client"
 	"apollo/internal/codegen"
 	"apollo/internal/core"
 	"apollo/internal/dataset"
@@ -32,15 +33,17 @@ func main() {
 	out := flag.String("out", "model.json", "output model path")
 	gen := flag.String("gen", "", "also write a generated Go decision function to this path")
 	dropDeck := flag.Bool("deck-independent", false, "exclude deck-specific features (problem_name)")
+	push := flag.String("push", "", "also publish the model to a running apollo-serve at this base URL")
+	pushName := flag.String("push-name", "", "registry name to publish under (default: the parameter name)")
 	flag.Parse()
 
-	if err := run(*data, *param, *topK, *depth, *folds, *seed, *out, *gen, *dropDeck); err != nil {
+	if err := run(*data, *param, *topK, *depth, *folds, *seed, *out, *gen, *dropDeck, *push, *pushName); err != nil {
 		fmt.Fprintln(os.Stderr, "apollo-train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, param string, topK, depth, folds int, seed uint64, out, gen string, dropDeck bool) error {
+func run(data, param string, topK, depth, folds int, seed uint64, out, gen string, dropDeck bool, push, pushName string) error {
 	if data == "" {
 		return fmt.Errorf("-data is required")
 	}
@@ -132,6 +135,18 @@ func run(data, param string, topK, depth, folds int, seed uint64, out, gen strin
 			return err
 		}
 		fmt.Printf("generated decision function written to %s\n", gen)
+	}
+
+	if push != "" {
+		name := pushName
+		if name == "" {
+			name = p.String()
+		}
+		version, err := client.New(push, client.Options{}).Push(name, model)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model pushed to %s as %s v%d (schema %s)\n", push, name, version, model.SchemaHash())
 	}
 	return nil
 }

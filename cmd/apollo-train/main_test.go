@@ -44,7 +44,7 @@ func TestTrainProducesModelAndCode(t *testing.T) {
 	seq, omp := writeTrainingCSVs(t, dir)
 	modelPath := filepath.Join(dir, "model.json")
 	genPath := filepath.Join(dir, "tuned.go")
-	err := run(seq+","+omp, "execution_policy", 5, 15, 3, 1, modelPath, genPath, false)
+	err := run(seq+","+omp, "execution_policy", 5, 15, 3, 1, modelPath, genPath, false, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestTrainDeckIndependent(t *testing.T) {
 	dir := t.TempDir()
 	seq, omp := writeTrainingCSVs(t, dir)
 	modelPath := filepath.Join(dir, "model.json")
-	if err := run(seq+","+omp, "policy", 0, 0, 0, 1, modelPath, "", true); err != nil {
+	if err := run(seq+","+omp, "policy", 0, 0, 0, 1, modelPath, "", true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	m, err := core.LoadModel(modelPath)
@@ -81,15 +81,15 @@ func TestTrainDeckIndependent(t *testing.T) {
 }
 
 func TestTrainRejectsBadInputs(t *testing.T) {
-	if err := run("", "policy", 0, 0, 0, 1, "x.json", "", false); err == nil {
+	if err := run("", "policy", 0, 0, 0, 1, "x.json", "", false, "", ""); err == nil {
 		t.Error("missing -data accepted")
 	}
 	dir := t.TempDir()
 	seq, _ := writeTrainingCSVs(t, dir)
-	if err := run(seq, "warp_size", 0, 0, 0, 1, filepath.Join(dir, "m.json"), "", false); err == nil {
+	if err := run(seq, "warp_size", 0, 0, 0, 1, filepath.Join(dir, "m.json"), "", false, "", ""); err == nil {
 		t.Error("unknown parameter accepted")
 	}
-	if err := run(filepath.Join(dir, "missing.csv"), "policy", 0, 0, 0, 1, "m.json", "", false); err == nil {
+	if err := run(filepath.Join(dir, "missing.csv"), "policy", 0, 0, 0, 1, "m.json", "", false, "", ""); err == nil {
 		t.Error("missing file accepted")
 	}
 }

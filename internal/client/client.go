@@ -1,0 +1,341 @@
+// Package client consumes the Apollo model service from inside an
+// application process. It fetches models with conditional GETs (ETag /
+// If-None-Match), caches the deserialized tree in-process behind an
+// atomic pointer, memoizes decisions per unique feature vector, and —
+// crucially for a tuner on an application's launch hot path — degrades
+// gracefully: when the server is unreachable the client serves the last
+// fetched model, or nothing at all (the tuner then uses its base
+// parameters), and retries on an exponential backoff schedule instead of
+// hammering the network on every launch.
+package client
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apollo/internal/core"
+)
+
+// Cached is one fetched model version held in-process. Immutable.
+type Cached struct {
+	// Name is the registry name the model was fetched under.
+	Name string
+	// Version is the registry version.
+	Version int
+	// ETag is the server's entity tag, replayed in If-None-Match.
+	ETag string
+	// SchemaHash fingerprints the model's prediction contract.
+	SchemaHash string
+	// Model is the deserialized model.
+	Model *core.Model
+}
+
+// Options tunes a client; the zero value picks sensible defaults.
+type Options struct {
+	// HTTPClient overrides the transport (default: 5s-timeout client).
+	HTTPClient *http.Client
+	// InitialBackoff is the delay after the first failure (default 100ms).
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential schedule (default 30s).
+	MaxBackoff time.Duration
+}
+
+// Client talks to one model service.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	initialBackoff time.Duration
+	maxBackoff     time.Duration
+	now            func() time.Time // injectable for backoff tests
+
+	// models is copy-on-write behind an atomic pointer: Predict reads it
+	// on every launch decision, so the read path must not take mu. mu
+	// serializes writers (map growth and backoff bookkeeping) only.
+	mu     sync.Mutex
+	models atomic.Pointer[map[string]*modelState]
+
+	memoMu sync.RWMutex
+	memo   map[string]int // ETag+vector -> class
+
+	fetches  atomic.Uint64 // network round trips attempted
+	memoHits atomic.Uint64
+}
+
+// memoCap bounds the decision memo; on overflow it resets.
+const memoCap = 8192
+
+// modelState tracks one model name's cache and failure backoff.
+type modelState struct {
+	cur         atomic.Pointer[Cached]
+	failures    int
+	nextAttempt time.Time
+}
+
+// New returns a client for the service at base (e.g. "http://host:8080").
+func New(base string, opts Options) *Client {
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{Timeout: 5 * time.Second}
+	}
+	if opts.InitialBackoff <= 0 {
+		opts.InitialBackoff = 100 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 30 * time.Second
+	}
+	c := &Client{
+		base:           base,
+		hc:             opts.HTTPClient,
+		initialBackoff: opts.InitialBackoff,
+		maxBackoff:     opts.MaxBackoff,
+		now:            time.Now,
+		memo:           map[string]int{},
+	}
+	c.models.Store(&map[string]*modelState{})
+	return c
+}
+
+// Fetches returns how many network round trips the client has attempted
+// (successful or not) — backoff keeps this bounded under outages.
+func (c *Client) Fetches() uint64 { return c.fetches.Load() }
+
+// MemoHits returns how many predictions the decision memo answered.
+func (c *Client) MemoHits() uint64 { return c.memoHits.Load() }
+
+// state returns (creating if needed) the tracking record for name. The
+// read path is one atomic load; a new name copies the map under mu.
+func (c *Client) state(name string) *modelState {
+	if st, ok := (*c.models.Load())[name]; ok {
+		return st
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.models.Load()
+	if st, ok := old[name]; ok {
+		return st
+	}
+	next := make(map[string]*modelState, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	st := &modelState{}
+	next[name] = st
+	c.models.Store(&next)
+	return st
+}
+
+// Push publishes a model under name and returns its new version.
+func (c *Client) Push(name string, m *core.Model) (int, error) {
+	body, err := m.MarshalJSON()
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequest(http.MethodPut, c.base+"/models/"+name, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.fetches.Add(1)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("client: push %s: %s: %s", name, resp.Status, bytes.TrimSpace(data))
+	}
+	var out struct {
+		Version int `json:"version"`
+	}
+	if err := unmarshal(data, &out); err != nil {
+		return 0, err
+	}
+	return out.Version, nil
+}
+
+// Cached returns the in-process copy of name without touching the
+// network, or nil if nothing has been fetched yet.
+func (c *Client) Cached(name string) *Cached {
+	return c.state(name).cur.Load()
+}
+
+// Fetch returns the current model for name, revalidating the in-process
+// copy with a conditional GET. Behavior under failure:
+//
+//   - server answers 304: the cached copy is returned with no decode cost;
+//   - network failure with a cached copy: the stale copy is returned
+//     (err == nil — a tuner must keep launching) and the failure arms the
+//     exponential backoff, so launches inside the backoff window skip the
+//     network entirely;
+//   - network failure with no cached copy: the error is returned and
+//     backoff is armed the same way.
+func (c *Client) Fetch(name string) (*Cached, error) {
+	st := c.state(name)
+	cur := st.cur.Load()
+
+	c.mu.Lock()
+	wait := st.nextAttempt.After(c.now())
+	c.mu.Unlock()
+	if wait {
+		if cur != nil {
+			return cur, nil
+		}
+		return nil, fmt.Errorf("client: %s unavailable, in backoff", name)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, c.base+"/models/"+name, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cur != nil && cur.ETag != "" {
+		req.Header.Set("If-None-Match", cur.ETag)
+	}
+	c.fetches.Add(1)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.fail(st)
+		if cur != nil {
+			return cur, nil
+		}
+		return nil, fmt.Errorf("client: fetching %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		c.ok(st)
+		return cur, nil
+	case http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		if err != nil {
+			c.fail(st)
+			if cur != nil {
+				return cur, nil
+			}
+			return nil, err
+		}
+		env, err := core.ParseModelOrEnvelope(data)
+		if err != nil {
+			// The server sent garbage; treat as outage, keep serving.
+			c.fail(st)
+			if cur != nil {
+				return cur, nil
+			}
+			return nil, err
+		}
+		version := env.Version
+		if v, err := strconv.Atoi(resp.Header.Get("X-Apollo-Model-Version")); err == nil && v > 0 {
+			version = v
+		}
+		next := &Cached{
+			Name:       name,
+			Version:    version,
+			ETag:       resp.Header.Get("ETag"),
+			SchemaHash: env.Model.SchemaHash(),
+			Model:      env.Model,
+		}
+		st.cur.Store(next)
+		c.ok(st)
+		return next, nil
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		c.fail(st)
+		if cur != nil {
+			return cur, nil
+		}
+		return nil, fmt.Errorf("client: fetching %s: %s", name, resp.Status)
+	}
+}
+
+// ok clears the backoff after a successful round trip.
+func (c *Client) ok(st *modelState) {
+	c.mu.Lock()
+	st.failures = 0
+	st.nextAttempt = time.Time{}
+	c.mu.Unlock()
+}
+
+// fail arms the exponential backoff: 1x, 2x, 4x ... of InitialBackoff,
+// capped at MaxBackoff.
+func (c *Client) fail(st *modelState) {
+	c.mu.Lock()
+	d := c.initialBackoff << uint(st.failures)
+	if d > c.maxBackoff || d <= 0 {
+		d = c.maxBackoff
+	}
+	if st.failures < 30 {
+		st.failures++
+	}
+	st.nextAttempt = c.now().Add(d)
+	c.mu.Unlock()
+}
+
+// Predict evaluates the named model on a vector laid out by the model's
+// own schema, memoizing per unique (model version, vector). The decision
+// path never blocks on the network: it uses whatever model Fetch last
+// cached, and errors only if no model has ever been fetched.
+func (c *Client) Predict(name string, x []float64) (int, error) {
+	cur := c.state(name).cur.Load()
+	if cur == nil {
+		var err error
+		if cur, err = c.Fetch(name); err != nil {
+			return 0, err
+		}
+	}
+	if len(x) != cur.Model.Schema.Len() {
+		return 0, fmt.Errorf("client: vector has %d features, model %s wants %d",
+			len(x), name, cur.Model.Schema.Len())
+	}
+	kb := keyPool.Get().(*[]byte)
+	b := appendMemoKey((*kb)[:0], cur.ETag, x)
+	c.memoMu.RLock()
+	class, hit := c.memo[string(b)] // string(b) in a map read does not allocate
+	c.memoMu.RUnlock()
+	if hit {
+		*kb = b
+		keyPool.Put(kb)
+		c.memoHits.Add(1)
+		return class, nil
+	}
+	class = cur.Model.Predict(x)
+	c.memoMu.Lock()
+	if len(c.memo) >= memoCap {
+		c.memo = make(map[string]int)
+	}
+	c.memo[string(b)] = class
+	c.memoMu.Unlock()
+	*kb = b
+	keyPool.Put(kb)
+	return class, nil
+}
+
+// keyPool recycles memo-key scratch buffers so a cached Predict stays
+// allocation-free on the launch hot path.
+var keyPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// appendMemoKey appends the decision memo key — entity tag plus the
+// exact bit pattern of every feature — to b.
+func appendMemoKey(b []byte, etag string, x []float64) []byte {
+	b = append(b, etag...)
+	for _, v := range x {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// unmarshal decodes JSON with a context-rich error.
+func unmarshal(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("client: decoding %q: %w", bytes.TrimSpace(data), err)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apollo/internal/core"
+	"apollo/internal/features"
+	"apollo/internal/tuner"
+)
+
+// Source adapts a Client into a tuner.ModelSource: it fetches named
+// policy/chunk models from the service, builds projectors onto the
+// application's feature schema, and atomically swaps a new projector set
+// in whenever the service publishes a new version — the running tuner
+// picks up the retrained model at its next launch, with no restart and
+// no locking on the launch path. When the service has never been
+// reachable, the source stays empty and the tuner runs on its base
+// parameters (graceful degradation).
+type Source struct {
+	c          *Client
+	schema     *features.Schema
+	policyName string // "" = no policy model
+	chunkName  string // "" = no chunk model
+
+	ps atomic.Pointer[tuner.Projectors]
+
+	mu         sync.Mutex
+	policyVer  int
+	policyHash string
+	chunkVer   int
+	chunkHash  string
+	lastErr    error
+	swaps      uint64
+	stopPoll   func()
+}
+
+// NewSource returns a source reading policyName and/or chunkName (either
+// may be empty) through c, projecting onto schema. Call Refresh (or
+// StartPolling) to populate it; until then the tuner sees an empty set.
+func NewSource(c *Client, schema *features.Schema, policyName, chunkName string) *Source {
+	s := &Source{c: c, schema: schema, policyName: policyName, chunkName: chunkName}
+	s.ps.Store(&tuner.Projectors{})
+	return s
+}
+
+// Projectors returns the current set. Lock-free; called per launch.
+func (s *Source) Projectors() *tuner.Projectors { return s.ps.Load() }
+
+// Swaps returns how many times a new model version has been swapped in.
+func (s *Source) Swaps() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.swaps
+}
+
+// Err returns the most recent refresh error, nil after a clean refresh.
+func (s *Source) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Refresh fetches both models (subject to the client's backoff) and, if
+// either version changed, publishes a rebuilt projector set. It returns
+// an error only when a wanted model has never been fetched at all —
+// serving a stale model during an outage is success, not failure.
+func (s *Source) Refresh() error {
+	var errs []error
+	var policy, chunk *Cached
+	if s.policyName != "" {
+		c, err := s.c.Fetch(s.policyName)
+		if err != nil {
+			errs = append(errs, err)
+		} else if c.Model.Param != core.ExecutionPolicy {
+			errs = append(errs, fmt.Errorf("client: model %s predicts %v, want execution_policy",
+				s.policyName, c.Model.Param))
+		} else {
+			policy = c
+		}
+	}
+	if s.chunkName != "" {
+		c, err := s.c.Fetch(s.chunkName)
+		if err != nil {
+			errs = append(errs, err)
+		} else if c.Model.Param != core.ChunkSize {
+			errs = append(errs, fmt.Errorf("client: model %s predicts %v, want chunk_size",
+				s.chunkName, c.Model.Param))
+		} else {
+			chunk = c
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastErr = errors.Join(errs...)
+	// Swap only on change: projector construction is off the hot path but
+	// not free, and an unchanged set must keep its warmed buffer pools.
+	changed := false
+	if policy != nil && (policy.Version != s.policyVer || policy.SchemaHash != s.policyHash) {
+		s.policyVer, s.policyHash = policy.Version, policy.SchemaHash
+		changed = true
+	}
+	if chunk != nil && (chunk.Version != s.chunkVer || chunk.SchemaHash != s.chunkHash) {
+		s.chunkVer, s.chunkHash = chunk.Version, chunk.SchemaHash
+		changed = true
+	}
+	if changed {
+		next := &tuner.Projectors{}
+		cur := s.ps.Load()
+		if policy != nil {
+			next.Policy = policy.Model.NewProjector(s.schema)
+		} else {
+			next.Policy = cur.Policy
+		}
+		if chunk != nil {
+			next.Chunk = chunk.Model.NewProjector(s.schema)
+		} else {
+			next.Chunk = cur.Chunk
+		}
+		s.ps.Store(next)
+		s.swaps++
+	}
+	return s.lastErr
+}
+
+// StartPolling refreshes the source every interval on a background
+// goroutine until the returned stop function is called. Refresh errors
+// are retained in Err; the poll keeps going (the next retrain must not
+// be lost to one outage).
+func (s *Source) StartPolling(interval time.Duration) (stop func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopPoll != nil {
+		return s.stopPoll
+	}
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				s.Refresh()
+			}
+		}
+	}()
+	var once sync.Once
+	s.stopPoll = func() {
+		once.Do(func() { close(stopCh) })
+		<-doneCh
+	}
+	return s.stopPoll
+}

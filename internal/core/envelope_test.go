@@ -1,0 +1,140 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"apollo/internal/features"
+)
+
+func envelopeTestModel(t *testing.T) *Model {
+	t.Helper()
+	schema := testSchema()
+	set, err := Label(syntheticFrame(schema), schema, ExecutionPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(set, TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSchemaHashStableAndSensitive(t *testing.T) {
+	m := envelopeTestModel(t)
+	h1, h2 := m.SchemaHash(), m.SchemaHash()
+	if h1 != h2 || len(h1) != 16 {
+		t.Fatalf("hash unstable or malformed: %q vs %q", h1, h2)
+	}
+	// Same schema + param on a different tree hashes identically (the hash
+	// covers the prediction contract, not the fitted weights)...
+	other := envelopeTestModel(t)
+	if other.SchemaHash() != h1 {
+		t.Error("identical contract hashed differently")
+	}
+	// ...while changing the parameter or the feature set changes it.
+	chunk := *m
+	chunk.Param = ChunkSize
+	if chunk.SchemaHash() == h1 {
+		t.Error("parameter change did not change the hash")
+	}
+	wider := *m
+	wider.Schema = features.NewSchema(features.NumIndices, features.Timestep)
+	if wider.SchemaHash() == h1 {
+		t.Error("schema change did not change the hash")
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	m := envelopeTestModel(t)
+	env := WrapModel("lulesh/policy", 3, m)
+	data, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"apollo-model-envelope-v1"`) {
+		t.Error("envelope format id missing from wire form")
+	}
+	var back Envelope
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "lulesh/policy" || back.Version != 3 || back.SchemaHash != m.SchemaHash() {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	x := make([]float64, m.Schema.Len())
+	if back.Model.Predict(x) != m.Predict(x) {
+		t.Error("round-tripped model predicts differently")
+	}
+}
+
+func TestEnvelopeRejectsSchemaHashMismatch(t *testing.T) {
+	m := envelopeTestModel(t)
+	data, err := json.Marshal(WrapModel("x", 1, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), m.SchemaHash(), "0000000000000000", 1)
+	var e Envelope
+	if err := json.Unmarshal([]byte(tampered), &e); err == nil {
+		t.Error("tampered schema hash accepted")
+	}
+}
+
+func TestParseModelOrEnvelope(t *testing.T) {
+	m := envelopeTestModel(t)
+
+	// Envelope form keeps its version.
+	envData, _ := json.Marshal(WrapModel("n", 5, m))
+	e, err := ParseModelOrEnvelope(envData)
+	if err != nil || e.Version != 5 {
+		t.Fatalf("envelope parse: v=%d err=%v", e.Version, err)
+	}
+
+	// A bare apollo-model-v1 document (the pre-service format) still
+	// parses, wrapped at version 0.
+	bare, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ParseModelOrEnvelope(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Version != 0 || e2.SchemaHash != m.SchemaHash() || e2.Model == nil {
+		t.Errorf("bare model parse: %+v", e2)
+	}
+
+	for _, junk := range []string{"", "{}", `{"format":"wat"}`, "[1,2]"} {
+		if _, err := ParseModelOrEnvelope([]byte(junk)); err == nil {
+			t.Errorf("junk %q accepted", junk)
+		}
+	}
+}
+
+// TestProjectorConcurrentPredict pins the pool-backed scratch buffer:
+// one shared projector must serve concurrent predictors (the serving
+// daemon and a multi-context tuner both do this). Run under -race.
+func TestProjectorConcurrentPredict(t *testing.T) {
+	m := envelopeTestModel(t)
+	proj := m.NewProjector(m.Schema)
+	want0 := proj.Predict([]float64{10})
+	want1 := proj.Predict([]float64{50000})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if proj.Predict([]float64{10}) != want0 || proj.Predict([]float64{50000}) != want1 {
+					t.Error("concurrent predict returned wrong class")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

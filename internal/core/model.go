@@ -3,8 +3,10 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"sort"
+	"sync"
 
 	"apollo/internal/dtree"
 	"apollo/internal/features"
@@ -61,30 +63,43 @@ func (m *Model) Params(class int, base raja.Params) raja.Params {
 type Projector struct {
 	model *Model
 	idx   []int // model feature i reads source[idx[i]]; -1 reads 0
-	buf   []float64
+	pool  sync.Pool
 }
 
 // NewProjector builds a projector from the source schema onto the model.
 func (m *Model) NewProjector(source *features.Schema) *Projector {
-	p := &Projector{model: m, idx: make([]int, m.Schema.Len()), buf: make([]float64, m.Schema.Len())}
+	p := &Projector{model: m, idx: make([]int, m.Schema.Len())}
 	for i, name := range m.Schema.Names() {
 		p.idx[i] = source.Index(name)
+	}
+	p.pool.New = func() any {
+		buf := make([]float64, len(p.idx))
+		return &buf
 	}
 	return p
 }
 
 // Predict projects the source-layout vector and evaluates the model.
-// It allocates nothing and is safe for single-goroutine hot paths.
+// Scratch space comes from an internal pool, so it allocates nothing in
+// steady state and is safe for concurrent callers — the tuner evaluates
+// one shared projector from many goroutine contexts at once.
 func (p *Projector) Predict(source []float64) int {
+	bufp := p.pool.Get().(*[]float64)
+	buf := *bufp
 	for i, j := range p.idx {
 		if j >= 0 {
-			p.buf[i] = source[j]
+			buf[i] = source[j]
 		} else {
-			p.buf[i] = 0
+			buf[i] = 0
 		}
 	}
-	return p.model.Tree.Predict(p.buf)
+	class := p.model.Tree.Predict(buf)
+	p.pool.Put(bufp)
+	return class
 }
+
+// Model returns the model the projector evaluates.
+func (p *Projector) Model() *Model { return p.model }
 
 // FeatureRanking returns the model's features ordered by decreasing Gini
 // importance, with their normalized importances (paper Fig. 8).
@@ -195,4 +210,116 @@ func LoadModel(path string) (*Model, error) {
 		return nil, fmt.Errorf("core: loading %s: %w", path, err)
 	}
 	return &m, nil
+}
+
+// SchemaHash fingerprints the model's prediction contract: the format
+// identifier, the predicted parameter, and the ordered feature names.
+// Two models with equal hashes accept the same feature vectors and emit
+// classes of the same parameter, so a serving registry can verify that a
+// republished model is a drop-in replacement for its predecessor.
+func (m *Model) SchemaHash() string {
+	h := fnv.New64a()
+	h.Write([]byte(modelFormatID))
+	h.Write([]byte{0})
+	h.Write([]byte(m.Param.String()))
+	for _, name := range m.Schema.Names() {
+		h.Write([]byte{0})
+		h.Write([]byte(name))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Envelope is the stable, versioned wire and disk form of a published
+// model: the name it is registered under, its monotonic registry version,
+// and the schema hash, wrapped around the model JSON. The envelope is
+// what the model service stores and serves; a bare model JSON (as written
+// by Model.Save) is also accepted everywhere an envelope is, at version 0.
+type Envelope struct {
+	Name       string
+	Version    int
+	SchemaHash string
+	Model      *Model
+}
+
+const envelopeFormatID = "apollo-model-envelope-v1"
+
+// envelopeJSON is the on-disk/wire form of an Envelope.
+type envelopeJSON struct {
+	Format     string `json:"format"`
+	Name       string `json:"name"`
+	Version    int    `json:"version"`
+	SchemaHash string `json:"schema_hash"`
+	Model      *Model `json:"model"`
+}
+
+// WrapModel builds the envelope for a model published under name at the
+// given version, stamping the schema hash.
+func WrapModel(name string, version int, m *Model) *Envelope {
+	return &Envelope{Name: name, Version: version, SchemaHash: m.SchemaHash(), Model: m}
+}
+
+// MarshalJSON encodes the envelope.
+func (e *Envelope) MarshalJSON() ([]byte, error) {
+	hash := e.SchemaHash
+	if hash == "" && e.Model != nil {
+		hash = e.Model.SchemaHash()
+	}
+	return json.Marshal(envelopeJSON{
+		Format:     envelopeFormatID,
+		Name:       e.Name,
+		Version:    e.Version,
+		SchemaHash: hash,
+		Model:      e.Model,
+	})
+}
+
+// UnmarshalJSON decodes an envelope, verifying the format identifier and
+// that the recorded schema hash matches the enclosed model.
+func (e *Envelope) UnmarshalJSON(data []byte) error {
+	var j envelopeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Format != envelopeFormatID {
+		return fmt.Errorf("core: unknown envelope format %q (want %q)", j.Format, envelopeFormatID)
+	}
+	if j.Model == nil {
+		return fmt.Errorf("core: envelope has no model")
+	}
+	if j.SchemaHash != "" && j.SchemaHash != j.Model.SchemaHash() {
+		return fmt.Errorf("core: envelope schema hash %s does not match model %s",
+			j.SchemaHash, j.Model.SchemaHash())
+	}
+	e.Name = j.Name
+	e.Version = j.Version
+	e.SchemaHash = j.Model.SchemaHash()
+	e.Model = j.Model
+	return nil
+}
+
+// ParseModelOrEnvelope decodes data as either an envelope or a bare model
+// JSON (Model.Save output), sniffing the format field. Bare models come
+// back wrapped at version 0 with an empty name.
+func ParseModelOrEnvelope(data []byte) (*Envelope, error) {
+	var probe struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("core: not a model or envelope: %w", err)
+	}
+	switch probe.Format {
+	case envelopeFormatID:
+		var e Envelope
+		if err := json.Unmarshal(data, &e); err != nil {
+			return nil, err
+		}
+		return &e, nil
+	case modelFormatID:
+		var m Model
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, err
+		}
+		return WrapModel("", 0, &m), nil
+	}
+	return nil, fmt.Errorf("core: unknown format %q", probe.Format)
 }

@@ -101,6 +101,17 @@ func (f *Frame) Append(other *Frame) {
 	}
 }
 
+// Clone returns a deep copy of the frame: same columns, copied rows.
+// Mutating either frame afterwards leaves the other untouched.
+func (f *Frame) Clone() *Frame {
+	out := NewFrame(f.cols...)
+	out.rows = make([][]float64, 0, len(f.rows))
+	for _, r := range f.rows {
+		out.rows = append(out.rows, append([]float64(nil), r...))
+	}
+	return out
+}
+
 // Filter returns a new frame holding the rows for which keep returns true.
 func (f *Frame) Filter(keep func(row []float64) bool) *Frame {
 	out := NewFrame(f.cols...)

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a dependency-free Prometheus-text metrics set: labeled
+// counters, gauges, and fixed-bucket histograms, all updateable from the
+// request hot path with atomics (label-map lookups take a short mutex
+// only on first sight of a label value).
+type Metrics struct {
+	mu         sync.Mutex
+	counters   map[string]map[string]*atomic.Uint64 // metric -> label value -> count
+	gauges     map[string]map[string]*atomic.Int64  // metric -> label value -> value
+	counterLbl map[string]string                    // metric -> label name
+	gaugeLbl   map[string]string
+	help       map[string]string
+	hists      map[string]*histogram
+}
+
+// histogram is a fixed-bucket latency histogram (cumulative on export,
+// per-bucket internally).
+type histogram struct {
+	bounds []float64 // upper bounds, ascending
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	sum    atomic.Uint64 // seconds scaled by 1e9 to stay integral
+	total  atomic.Uint64
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   map[string]map[string]*atomic.Uint64{},
+		gauges:     map[string]map[string]*atomic.Int64{},
+		counterLbl: map[string]string{},
+		gaugeLbl:   map[string]string{},
+		help:       map[string]string{},
+		hists:      map[string]*histogram{},
+	}
+}
+
+// CounterAdd adds delta to the counter's series for the label value.
+// label may be "" for an unlabeled counter.
+func (m *Metrics) CounterAdd(metric, labelName, labelValue, help string, delta uint64) {
+	m.counterSeries(metric, labelName, labelValue, help).Add(delta)
+}
+
+func (m *Metrics) counterSeries(metric, labelName, labelValue, help string) *atomic.Uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	series, ok := m.counters[metric]
+	if !ok {
+		series = map[string]*atomic.Uint64{}
+		m.counters[metric] = series
+		m.counterLbl[metric] = labelName
+		m.help[metric] = help
+	}
+	c, ok := series[labelValue]
+	if !ok {
+		c = &atomic.Uint64{}
+		series[labelValue] = c
+	}
+	return c
+}
+
+// GaugeSet sets the gauge's series for the label value.
+func (m *Metrics) GaugeSet(metric, labelName, labelValue, help string, value int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	series, ok := m.gauges[metric]
+	if !ok {
+		series = map[string]*atomic.Int64{}
+		m.gauges[metric] = series
+		m.gaugeLbl[metric] = labelName
+		m.help[metric] = help
+	}
+	g, ok := series[labelValue]
+	if !ok {
+		g = &atomic.Int64{}
+		series[labelValue] = g
+	}
+	g.Store(value)
+}
+
+// DefaultLatencyBuckets are the histogram bounds in seconds, spanning
+// sub-microsecond tree decisions to slow remote calls.
+var DefaultLatencyBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1, 5,
+}
+
+// Observe records one observation (in seconds) into the histogram,
+// creating it with DefaultLatencyBuckets on first use.
+func (m *Metrics) Observe(metric, help string, seconds float64) {
+	m.mu.Lock()
+	h, ok := m.hists[metric]
+	if !ok {
+		h = &histogram{bounds: DefaultLatencyBuckets, counts: make([]atomic.Uint64, len(DefaultLatencyBuckets))}
+		m.hists[metric] = h
+		m.help[metric] = help
+	}
+	m.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	if seconds > 0 && !math.IsInf(seconds, 0) && !math.IsNaN(seconds) {
+		h.sum.Add(uint64(seconds * 1e9))
+	}
+	h.total.Add(1)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	for n := range m.gauges {
+		names = append(names, n)
+	}
+	for n := range m.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if help := m.help[n]; help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, help); err != nil {
+				return err
+			}
+		}
+		switch {
+		case m.counters[n] != nil:
+			fmt.Fprintf(w, "# TYPE %s counter\n", n)
+			if err := writeSeries(w, n, m.counterLbl[n], m.counters[n], func(c *atomic.Uint64) string {
+				return strconv.FormatUint(c.Load(), 10)
+			}); err != nil {
+				return err
+			}
+		case m.gauges[n] != nil:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", n)
+			if err := writeSeries(w, n, m.gaugeLbl[n], m.gauges[n], func(g *atomic.Int64) string {
+				return strconv.FormatInt(g.Load(), 10)
+			}); err != nil {
+				return err
+			}
+		default:
+			h := m.hists[n]
+			fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+			var cum uint64
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, formatBound(b), cum)
+			}
+			cum += h.inf.Load()
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+			fmt.Fprintf(w, "%s_sum %g\n", n, float64(h.sum.Load())/1e9)
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", n, h.total.Load()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one labeled metric family, label values sorted.
+func writeSeries[T any](w io.Writer, metric, label string, series map[string]*T, render func(*T) string) error {
+	var keys []string
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var err error
+		if label == "" || k == "" {
+			_, err = fmt.Fprintf(w, "%s %s\n", metric, render(series[k]))
+		} else {
+			_, err = fmt.Fprintf(w, "%s{%s=%q} %s\n", metric, label, k, render(series[k]))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect.
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }

@@ -1,0 +1,308 @@
+// Package server exposes a model registry over HTTP — the Apollo model
+// service daemon's core. The API is plain stdlib net/http + JSON:
+//
+//	PUT  /models/{name}   publish a model (bare model JSON or envelope)
+//	GET  /models/{name}   fetch the current envelope (ETag / If-None-Match)
+//	GET  /models          list registered models
+//	POST /predict         evaluate a model on one vector or a batch
+//	GET  /healthz         liveness
+//	GET  /metrics         Prometheus text: requests, predictions, cache
+//	                      hits, model versions, latency histograms
+//
+// Prediction requests are memoized per (model version, feature vector):
+// an application's launches repeat a small set of unique vectors (the
+// insight behind the paper's labeling), so the cache absorbs most remote
+// prediction traffic.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"apollo/internal/registry"
+)
+
+// maxModelBytes caps PUT bodies; trained trees are tens of kilobytes.
+const maxModelBytes = 16 << 20
+
+// decisionCacheCap bounds the prediction memo cache; on overflow the
+// cache resets (vectors repeat heavily, so it refills immediately).
+const decisionCacheCap = 8192
+
+// Server wires a registry to HTTP handlers plus a metrics set.
+type Server struct {
+	reg     *registry.Registry
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	cacheMu sync.RWMutex
+	// decision memo: ETag + vector bytes -> predicted class.
+	decisions map[string]int
+}
+
+// New returns a server over reg with a fresh metrics set.
+func New(reg *registry.Registry) *Server {
+	s := &Server{
+		reg:       reg,
+		metrics:   NewMetrics(),
+		mux:       http.NewServeMux(),
+		decisions: make(map[string]int),
+	}
+	s.mux.HandleFunc("PUT /models/{name...}", s.instrument("models_put", s.handlePut))
+	s.mux.HandleFunc("GET /models/{name...}", s.instrument("models_get", s.handleGet))
+	s.mux.HandleFunc("GET /models", s.instrument("models_list", s.handleList))
+	s.mux.HandleFunc("GET /models/{$}", s.instrument("models_list", s.handleList))
+	s.mux.HandleFunc("POST /predict", s.instrument("predict", s.handlePredict))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Seed version gauges for models loaded from disk at open.
+	for _, name := range reg.Names() {
+		if e, ok := reg.Get(name); ok {
+			s.metrics.GaugeSet("apollo_model_version", "model", name,
+				"Current registry version of each model.", int64(e.Version))
+		}
+	}
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics set (the registry watcher's
+// reload hook feeds it too).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// NoteReload records watcher hot-reloads and refreshes version gauges.
+func (s *Server) NoteReload(n int) {
+	s.metrics.CounterAdd("apollo_model_reloads_total", "", "",
+		"Models hot-reloaded from disk by the registry watcher.", uint64(n))
+	for _, name := range s.reg.Names() {
+		if e, ok := s.reg.Get(name); ok {
+			s.metrics.GaugeSet("apollo_model_version", "model", name,
+				"Current registry version of each model.", int64(e.Version))
+		}
+	}
+}
+
+// instrument wraps a handler with the request counter and latency
+// histogram.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.CounterAdd("apollo_http_requests_total", "handler", name,
+			"HTTP requests served, by handler.", 1)
+		h(w, r)
+		s.metrics.Observe("apollo_http_request_duration_seconds",
+			"HTTP request latency.", time.Since(start).Seconds())
+	}
+}
+
+// errorJSON writes a JSON error body with the given status.
+func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// modelInfo is the JSON summary of one registry entry.
+type modelInfo struct {
+	Name       string `json:"name"`
+	Version    int    `json:"version"`
+	ETag       string `json:"etag"`
+	SchemaHash string `json:"schema_hash"`
+	Parameter  string `json:"parameter"`
+	Features   int    `json:"features"`
+}
+
+func info(e *registry.Entry) modelInfo {
+	return modelInfo{
+		Name:       e.Name,
+		Version:    e.Version,
+		ETag:       e.ETag,
+		SchemaHash: e.SchemaHash,
+		Parameter:  e.Model.Param.String(),
+		Features:   e.Model.Schema.Len(),
+	}
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxModelBytes+1))
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(data) > maxModelBytes {
+		errorJSON(w, http.StatusRequestEntityTooLarge, "model exceeds %d bytes", maxModelBytes)
+		return
+	}
+	e, err := s.reg.PublishRaw(name, data)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.metrics.CounterAdd("apollo_model_publishes_total", "model", name,
+		"Models published via PUT, by model.", 1)
+	s.metrics.GaugeSet("apollo_model_version", "model", name,
+		"Current registry version of each model.", int64(e.Version))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", e.ETag)
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(info(e))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.reg.Get(name)
+	if !ok {
+		errorJSON(w, http.StatusNotFound, "no model %q", name)
+		return
+	}
+	w.Header().Set("ETag", e.ETag)
+	w.Header().Set("X-Apollo-Model-Version", strconv.Itoa(e.Version))
+	w.Header().Set("X-Apollo-Schema-Hash", e.SchemaHash)
+	if match := r.Header.Get("If-None-Match"); match != "" && match == e.ETag {
+		s.metrics.CounterAdd("apollo_model_not_modified_total", "", "",
+			"Conditional model fetches answered 304 Not Modified.", 1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(e.Raw)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	out := make([]modelInfo, 0, len(names))
+	for _, n := range names {
+		if e, ok := s.reg.Get(n); ok {
+			out = append(out, info(e))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"models": out})
+}
+
+// predictRequest is the POST /predict body. Exactly one of X, Batch, or
+// Features must be set. Vectors are laid out by the model's own schema;
+// Features names them instead, unset features default to 0.
+type predictRequest struct {
+	Model    string             `json:"model"`
+	X        []float64          `json:"x,omitempty"`
+	Batch    [][]float64        `json:"batch,omitempty"`
+	Features map[string]float64 `json:"features,omitempty"`
+}
+
+// predictResponse answers both single and batched requests.
+type predictResponse struct {
+	Model   string   `json:"model"`
+	Version int      `json:"version"`
+	Class   *int     `json:"class,omitempty"`
+	Label   string   `json:"label,omitempty"`
+	Classes []int    `json:"classes,omitempty"`
+	Labels  []string `json:"labels,omitempty"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxModelBytes)).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	e, ok := s.reg.Get(req.Model)
+	if !ok {
+		errorJSON(w, http.StatusNotFound, "no model %q", req.Model)
+		return
+	}
+	want := e.Model.Schema.Len()
+	vectors := req.Batch
+	single := false
+	switch {
+	case req.X != nil && req.Batch == nil && req.Features == nil:
+		vectors, single = [][]float64{req.X}, true
+	case req.Features != nil && req.X == nil && req.Batch == nil:
+		x := make([]float64, want)
+		for name, v := range req.Features {
+			i := e.Model.Schema.Index(name)
+			if i < 0 {
+				errorJSON(w, http.StatusBadRequest, "model %q has no feature %q (features: %v)",
+					req.Model, name, e.Model.Schema.Names())
+				return
+			}
+			x[i] = v
+		}
+		vectors, single = [][]float64{x}, true
+	case req.Batch != nil && req.X == nil && req.Features == nil:
+	default:
+		errorJSON(w, http.StatusBadRequest, "set exactly one of x, batch, or features")
+		return
+	}
+	resp := predictResponse{Model: e.Name, Version: e.Version}
+	for i, x := range vectors {
+		if len(x) != want {
+			errorJSON(w, http.StatusBadRequest, "vector %d has %d features, model %q wants %d",
+				i, len(x), req.Model, want)
+			return
+		}
+		resp.Classes = append(resp.Classes, s.predict(e, x))
+		resp.Labels = append(resp.Labels, e.Model.Param.ClassName(resp.Classes[i]))
+	}
+	s.metrics.CounterAdd("apollo_predictions_total", "", "",
+		"Feature vectors evaluated by POST /predict.", uint64(len(vectors)))
+	if single {
+		resp.Class, resp.Label = &resp.Classes[0], resp.Labels[0]
+		resp.Classes, resp.Labels = nil, nil
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// predict evaluates one vector through the memo cache.
+func (s *Server) predict(e *registry.Entry, x []float64) int {
+	key := decisionKey(e.ETag, x)
+	s.cacheMu.RLock()
+	class, hit := s.decisions[key]
+	s.cacheMu.RUnlock()
+	if hit {
+		s.metrics.CounterAdd("apollo_predict_cache_hits_total", "", "",
+			"Predictions answered from the decision memo cache.", 1)
+		return class
+	}
+	class = e.Model.Predict(x)
+	s.cacheMu.Lock()
+	if len(s.decisions) >= decisionCacheCap {
+		s.decisions = make(map[string]int)
+	}
+	s.decisions[key] = class
+	s.cacheMu.Unlock()
+	return class
+}
+
+// decisionKey builds the memo key: the entry's content hash plus the
+// exact vector bytes.
+func decisionKey(etag string, x []float64) string {
+	b := make([]byte, 0, len(etag)+len(x)*16)
+	b = append(b, etag...)
+	for _, v := range x {
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		b = append(b, '|')
+	}
+	return string(b)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "models": s.reg.Len()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}

@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -110,6 +112,64 @@ func TestSaveChromeTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.json")
 	if err := SaveChromeTrace(path, tr.Events()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSaveChromeTraceUnwritablePath(t *testing.T) {
+	tr := tracedRun(t, 0)
+	// A path whose parent directory does not exist must surface the
+	// filesystem error, not panic or silently drop the trace.
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "trace.json")
+	if err := SaveChromeTrace(path, tr.Events()); err == nil {
+		t.Fatal("SaveChromeTrace to a missing directory reported success")
+	}
+}
+
+func TestSaveChromeTraceRoundTrip(t *testing.T) {
+	tr := tracedRun(t, 0)
+	events := tr.Events()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := SaveChromeTrace(path, events); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Name string            `json:"name"`
+		Cat  string            `json:"cat"`
+		Ph   string            `json:"ph"`
+		Ts   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		TID  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("saved trace is not valid JSON: %v", err)
+	}
+	if len(decoded) != len(events) {
+		t.Fatalf("saved %d entries, want %d", len(decoded), len(events))
+	}
+	for i, e := range decoded {
+		src := events[i]
+		if e.Name != src.Kernel || e.Cat != "kernel" || e.Ph != "X" {
+			t.Errorf("entry %d identity wrong: %+v", i, e)
+		}
+		// Timestamps are exported in microseconds.
+		if e.Ts != src.StartNS/1e3 || e.Dur != src.DurationNS/1e3 {
+			t.Errorf("entry %d timing: ts=%g dur=%g, want %g/%g", i, e.Ts, e.Dur, src.StartNS/1e3, src.DurationNS/1e3)
+		}
+		wantTID := 0
+		if src.Params.Policy.Parallel() {
+			wantTID = 1
+		}
+		if e.TID != wantTID {
+			t.Errorf("entry %d on track %d, want %d", i, e.TID, wantTID)
+		}
+		if e.Args["iterations"] != fmt.Sprintf("%d", src.Iterations) || e.Args["params"] != src.Params.String() {
+			t.Errorf("entry %d args wrong: %v", i, e.Args)
+		}
 	}
 }
 

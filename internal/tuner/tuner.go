@@ -16,6 +16,7 @@ package tuner
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"apollo/internal/caliper"
 	"apollo/internal/core"
@@ -67,11 +68,25 @@ func (r *Recorder) End(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, elaps
 	r.frame.AddRow(r.row)
 }
 
-// Frame returns the recorded samples.
+// Frame returns the live recording frame. Ownership contract: the frame
+// remains owned by the recorder, and End keeps appending to it for as
+// long as the application runs — callers that only read it after all
+// launches have finished (the offline training pipeline) may use it
+// directly, but callers that export while recording may continue (e.g. a
+// server shipping training data mid-run) must use Snapshot instead.
 func (r *Recorder) Frame() *dataset.Frame {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.frame
+}
+
+// Snapshot returns a deep copy of the samples recorded so far. The copy
+// is safe to read, serialize, or mutate while the recorder keeps
+// appending to its live frame on other goroutines.
+func (r *Recorder) Snapshot() *dataset.Frame {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frame.Clone()
 }
 
 // Samples returns the number of recorded samples.
@@ -81,60 +96,131 @@ func (r *Recorder) Samples() int {
 	return r.frame.Len()
 }
 
+// Projectors is one immutable set of decision projectors: a policy
+// projector, a chunk projector, or both (either may be nil, leaving the
+// corresponding parameter at the tuner's base value). Sources publish a
+// fresh set on every model change and never mutate a published one.
+type Projectors struct {
+	Policy *core.Projector
+	Chunk  *core.Projector
+}
+
+// ModelSource supplies the tuner's current projectors. Implementations
+// may swap the returned set at any time — a serving client installs a
+// retrained model into a running tuner this way — and must make
+// Projectors safe for concurrent callers. Returning nil is equivalent to
+// returning an empty set: the tuner falls back to its base parameters.
+type ModelSource interface {
+	Projectors() *Projectors
+}
+
+// SwapSource is the trivial ModelSource: an atomically swappable
+// projector set. It backs UsePolicyModel/UseChunkModel and is the seam a
+// test or an embedding application uses to hot-swap models by hand.
+type SwapSource struct {
+	ps atomic.Pointer[Projectors]
+}
+
+// Projectors returns the current set (never nil).
+func (s *SwapSource) Projectors() *Projectors {
+	if ps := s.ps.Load(); ps != nil {
+		return ps
+	}
+	return &Projectors{}
+}
+
+// Store atomically publishes a new projector set. Launches already in
+// flight finish with the set they loaded; every later launch sees ps.
+func (s *SwapSource) Store(ps *Projectors) {
+	if ps == nil {
+		ps = &Projectors{}
+	}
+	s.ps.Store(ps)
+}
+
 // Tuner evaluates trained models at every kernel launch. A policy model,
 // a chunk model, or both may be installed; absent models leave the
-// corresponding parameter at its base value.
+// corresponding parameter at its base value. The launch hot path is
+// lock-free: it reads the current projector set through one atomic load,
+// so concurrent contexts driving one tuner never contend, and a model
+// source may swap in a retrained model mid-run with no coordination.
 type Tuner struct {
 	schema *features.Schema
 	ann    *caliper.Annotations
 	base   raja.Params
 
-	policyProj *core.Projector
-	chunkProj  *core.Projector
+	own    SwapSource // backs UsePolicyModel / UseChunkModel
+	src    atomic.Pointer[sourceBox]
+	instMu sync.Mutex // serializes model installs, not launches
 
-	mu        sync.Mutex
-	decisions uint64
-	x         []float64
+	decisions atomic.Uint64
 }
+
+// sourceBox makes the ModelSource interface value atomically swappable.
+type sourceBox struct{ s ModelSource }
 
 // NewTuner returns a tuner extracting features against the given schema
 // and blackboard, starting from base parameters.
 func NewTuner(schema *features.Schema, ann *caliper.Annotations, base raja.Params) *Tuner {
-	return &Tuner{schema: schema, ann: ann, base: base, x: make([]float64, schema.Len())}
+	t := &Tuner{schema: schema, ann: ann, base: base}
+	t.src.Store(&sourceBox{s: &t.own})
+	return t
 }
 
-// UsePolicyModel installs a model predicting the execution policy.
+// UsePolicyModel installs a model predicting the execution policy into
+// the tuner's own swappable source.
 func (t *Tuner) UsePolicyModel(m *core.Model) *Tuner {
 	if m.Param != core.ExecutionPolicy {
 		panic("tuner: UsePolicyModel with a non-policy model")
 	}
-	t.policyProj = m.NewProjector(t.schema)
+	t.instMu.Lock()
+	defer t.instMu.Unlock()
+	cur := t.own.Projectors()
+	t.own.Store(&Projectors{Policy: m.NewProjector(t.schema), Chunk: cur.Chunk})
 	return t
 }
 
-// UseChunkModel installs a model predicting the OpenMP chunk size.
+// UseChunkModel installs a model predicting the OpenMP chunk size into
+// the tuner's own swappable source.
 func (t *Tuner) UseChunkModel(m *core.Model) *Tuner {
 	if m.Param != core.ChunkSize {
 		panic("tuner: UseChunkModel with a non-chunk model")
 	}
-	t.chunkProj = m.NewProjector(t.schema)
+	t.instMu.Lock()
+	defer t.instMu.Unlock()
+	cur := t.own.Projectors()
+	t.own.Store(&Projectors{Policy: cur.Policy, Chunk: m.NewProjector(t.schema)})
+	return t
+}
+
+// UseSource routes the tuner's projector reads through src — typically a
+// serving client that fetches models from a registry and hot-swaps them.
+// Passing nil restores the tuner's own UsePolicyModel/UseChunkModel set.
+func (t *Tuner) UseSource(src ModelSource) *Tuner {
+	if src == nil {
+		src = &t.own
+	}
+	t.src.Store(&sourceBox{s: src})
 	return t
 }
 
 // Begin extracts the launch's features, evaluates the installed models,
-// and returns the predicted parameters.
+// and returns the predicted parameters. It takes no locks: the scratch
+// vector is per-call, the projector pools its own buffers, and the
+// projector set is one atomic pointer load.
 func (t *Tuner) Begin(k *raja.Kernel, iset *raja.IndexSet) (raja.Params, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.decisions++
+	t.decisions.Add(1)
 	x := t.schema.Extract(k, iset, t.ann)
-	copy(t.x, x)
 	params := t.base
-	if t.policyProj != nil {
-		params.Policy = raja.Policy(t.policyProj.Predict(t.x))
+	ps := t.src.Load().s.Projectors()
+	if ps == nil {
+		return params, true
 	}
-	if t.chunkProj != nil {
-		class := t.chunkProj.Predict(t.x)
+	if ps.Policy != nil {
+		params.Policy = raja.Policy(ps.Policy.Predict(x))
+	}
+	if ps.Chunk != nil {
+		class := ps.Chunk.Predict(x)
 		if class >= 0 && class < len(raja.ChunkSizes) {
 			params.Chunk = raja.ChunkSizes[class]
 		}
@@ -146,11 +232,7 @@ func (t *Tuner) Begin(k *raja.Kernel, iset *raja.IndexSet) (raja.Params, bool) {
 func (t *Tuner) End(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, elapsedNS float64) {}
 
 // Decisions returns how many launches the tuner has parameterized.
-func (t *Tuner) Decisions() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.decisions
-}
+func (t *Tuner) Decisions() uint64 { return t.decisions.Load() }
 
 // KernelStat accumulates the observed cost of one kernel.
 type KernelStat struct {

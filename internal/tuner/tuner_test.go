@@ -1,6 +1,8 @@
 package tuner
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"apollo/internal/caliper"
@@ -197,5 +199,147 @@ func TestCollectorDelegates(t *testing.T) {
 	// The recorder's forced policy must win through the collector.
 	if rec.Frame().At(0, core.ColPolicy) != float64(raja.SeqExec) {
 		t.Error("inner Begin override lost")
+	}
+}
+
+// TestConcurrentBeginIsRaceFree drives one tuner from two goroutines — the
+// multi-context case — while a third hot-swaps models through the tuner's
+// own source. Begin takes no locks, so this must pass under -race with no
+// contention and no torn projector reads.
+func TestConcurrentBeginIsRaceFree(t *testing.T) {
+	schema := features.TableI()
+	model := trainPolicyModel(t, schema)
+	tn := NewTuner(schema, caliper.New(), raja.Params{Policy: raja.OmpParallelForExec}).UsePolicyModel(model)
+
+	var wg sync.WaitGroup
+	const launches = 2000
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := raja.NewKernel("worker", nil)
+			for i := 0; i < launches; i++ {
+				n := 50
+				if (i+g)%2 == 0 {
+					n = 100000
+				}
+				p, ok := tn.Begin(k, raja.NewRange(0, n))
+				if !ok {
+					t.Error("Begin declined a launch")
+					return
+				}
+				if p.Policy != raja.SeqExec && p.Policy != raja.OmpParallelForExec {
+					t.Errorf("torn decision: %v", p.Policy)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			tn.UsePolicyModel(model)
+		}
+	}()
+	wg.Wait()
+	if got := tn.Decisions(); got != 2*launches {
+		t.Errorf("decisions = %d, want %d (atomic counter lost updates)", got, 2*launches)
+	}
+}
+
+// swapCount is a ModelSource that counts reads, proving Begin loads the
+// source exactly once per launch.
+type countingSource struct {
+	inner SwapSource
+	reads atomic.Uint64
+}
+
+func (s *countingSource) Projectors() *Projectors {
+	s.reads.Add(1)
+	return s.inner.Projectors()
+}
+
+func TestUseSourceHotSwapsMidRun(t *testing.T) {
+	schema := features.TableI()
+	model := trainPolicyModel(t, schema)
+	src := &countingSource{}
+	tn := NewTuner(schema, caliper.New(), raja.Params{Policy: raja.OmpParallelForExec}).UseSource(src)
+
+	k := raja.NewKernel("k", nil)
+	small := raja.NewRange(0, 50)
+	// Empty source: base parameters.
+	if p, _ := tn.Begin(k, small); p.Policy != raja.OmpParallelForExec {
+		t.Errorf("empty source gave %v, want base omp", p.Policy)
+	}
+	// The source publishes a model; the very next launch uses it.
+	src.inner.Store(&Projectors{Policy: model.NewProjector(schema)})
+	if p, _ := tn.Begin(k, small); p.Policy != raja.SeqExec {
+		t.Errorf("after swap got %v, want seq from model", p.Policy)
+	}
+	if src.reads.Load() != 2 {
+		t.Errorf("source read %d times for 2 launches", src.reads.Load())
+	}
+	// Reverting to the tuner's own source restores UsePolicyModel behavior.
+	tn.UseSource(nil)
+	if p, _ := tn.Begin(k, small); p.Policy != raja.OmpParallelForExec {
+		t.Errorf("after revert got %v, want base omp", p.Policy)
+	}
+}
+
+func TestSnapshotIsIndependentCopy(t *testing.T) {
+	schema := features.TableI()
+	rec := NewRecorder(schema, caliper.New(), raja.Params{Policy: raja.SeqExec})
+	ctx := simContext(rec, raja.Params{})
+	k := raja.NewKernel("k", nil)
+	raja.ForAll(ctx, k, raja.NewRange(0, 100), func(int) {})
+
+	snap := rec.Snapshot()
+	if snap.Len() != 1 {
+		t.Fatalf("snapshot has %d rows, want 1", snap.Len())
+	}
+	// Recording continues; the snapshot must not grow or change.
+	raja.ForAll(ctx, k, raja.NewRange(0, 200), func(int) {})
+	if snap.Len() != 1 {
+		t.Errorf("snapshot grew to %d rows after more recording", snap.Len())
+	}
+	if rec.Frame().Len() != 2 {
+		t.Errorf("live frame has %d rows, want 2", rec.Frame().Len())
+	}
+	// Mutating the snapshot must not corrupt the live frame.
+	snap.AddRow(make([]float64, schema.Len()+3))
+	if rec.Frame().Len() != 2 {
+		t.Error("snapshot mutation leaked into the live frame")
+	}
+}
+
+// TestSnapshotWhileRecordingRaceFree exercises the documented contract:
+// Snapshot is the safe way to export mid-run. Run under -race.
+func TestSnapshotWhileRecordingRaceFree(t *testing.T) {
+	schema := features.TableI()
+	rec := NewRecorder(schema, caliper.New(), raja.Params{Policy: raja.SeqExec})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ctx := simContext(rec, raja.Params{})
+		k := raja.NewKernel("k", nil)
+		for i := 0; i < 500; i++ {
+			raja.ForAll(ctx, k, raja.NewRange(0, 10+i), func(int) {})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			snap := rec.Snapshot()
+			if snap.Len() > 0 && snap.At(snap.Len()-1, core.ColTimeNS) < 0 {
+				t.Error("torn row")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if rec.Samples() != 500 {
+		t.Errorf("recorded %d samples, want 500", rec.Samples())
 	}
 }

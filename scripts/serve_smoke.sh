@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Smoke-test the Apollo model service end to end against a real daemon:
+# build the tools, record a small training run, start apollo-serve on a
+# random port, train-and-push a model, evaluate it over HTTP, scrape
+# /metrics, and shut down cleanly. Exits non-zero on any failure.
+set -euo pipefail
+
+GO="${GO:-go}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+
+cleanup() {
+    if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fetch() { # fetch URL [curl-extra-args...]
+    url="$1"; shift
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$@" "$url"
+    else
+        wget -qO- "$url"
+    fi
+}
+
+echo "== build"
+(cd "$ROOT" && $GO build -o "$WORK/bin/" ./cmd/apollo-serve ./cmd/apollo-record ./cmd/apollo-train)
+
+echo "== record training data (simulated LULESH, one run per policy)"
+"$WORK/bin/apollo-record" -app LULESH -problem sedov -size 8 -steps 3 \
+    -policy seq_exec -out "$WORK/seq.csv"
+"$WORK/bin/apollo-record" -app LULESH -problem sedov -size 8 -steps 3 \
+    -policy omp_parallel_for_exec -out "$WORK/omp.csv"
+
+echo "== start apollo-serve on a random port"
+"$WORK/bin/apollo-serve" -addr 127.0.0.1:0 -dir "$WORK/registry" \
+    -poll 100ms >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+BASE=""
+for _ in $(seq 1 100); do
+    BASE="$(sed -n 's/^apollo-serve: listening on \(http:\/\/[^ ]*\).*/\1/p' "$WORK/serve.log" | head -n1)"
+    [[ -n "$BASE" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/serve.log"; echo "FAIL: daemon died"; exit 1; }
+    sleep 0.1
+done
+[[ -n "$BASE" ]] || { cat "$WORK/serve.log"; echo "FAIL: never saw listen line"; exit 1; }
+echo "   daemon at $BASE"
+
+echo "== healthz"
+fetch "$BASE/healthz" | grep -q ok
+
+echo "== train and push"
+"$WORK/bin/apollo-train" -data "$WORK/seq.csv,$WORK/omp.csv" -cv 0 \
+    -out "$WORK/model.json" -push "$BASE" -push-name smoke/policy | tail -n1
+
+echo "== model list and conditional fetch"
+fetch "$BASE/models" | grep -q '"smoke/policy"'
+test -f "$WORK/registry/smoke/policy.v1.json" || { echo "FAIL: model not persisted"; exit 1; }
+
+echo "== predict over HTTP"
+PREDICT='{"model":"smoke/policy","features":{"num_indices":64}}'
+if command -v curl >/dev/null 2>&1; then
+    OUT="$(curl -fsS -X POST -d "$PREDICT" "$BASE/predict")"
+else
+    OUT="$(wget -qO- --post-data "$PREDICT" "$BASE/predict")"
+fi
+echo "   $OUT"
+echo "$OUT" | grep -q '"class"'
+
+echo "== metrics"
+METRICS="$(fetch "$BASE/metrics")"
+echo "$METRICS" | grep -q 'apollo_http_requests_total'
+echo "$METRICS" | grep -q 'apollo_predictions_total'
+echo "$METRICS" | grep -q 'apollo_model_version{model="smoke/policy"} 1'
+
+echo "== shutdown"
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+grep -q "shutting down" "$WORK/serve.log"
+
+echo "PASS: serve smoke"
