@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench results quick-results cover clean serve-smoke
+.PHONY: all build test race bench results quick-results cover clean serve-smoke loop-smoke
 
 all: build test
 
@@ -34,6 +34,13 @@ cover:
 # record -> train -> push -> predict -> metrics -> shutdown.
 serve-smoke:
 	GO="$(GO)" ./scripts/serve_smoke.sh
+
+# End-to-end smoke test of the closed training loop against real
+# daemons: a stale champion mispredicts a live run, telemetry flows to
+# the service spool, apollo-traind retrains and publishes a challenger,
+# and the running tuner hot-swaps to it before exiting.
+loop-smoke:
+	GO="$(GO)" ./scripts/loop_smoke.sh
 
 clean:
 	$(GO) clean ./...

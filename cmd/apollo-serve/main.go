@@ -36,11 +36,12 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	dir := flag.String("dir", "apollo-models", "registry directory (versioned model files)")
 	poll := flag.Duration("poll", 2*time.Second, "watcher poll interval for external model-file changes (0 disables)")
+	telemetry := flag.String("telemetry", "", "telemetry spool directory; enables POST /telemetry ingestion")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *dir, *poll, nil); err != nil {
+	if err := run(ctx, *addr, *dir, *telemetry, *poll, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "apollo-serve:", err)
 		os.Exit(1)
 	}
@@ -49,12 +50,17 @@ func main() {
 // run serves until ctx is canceled. ready, if non-nil, is called with the
 // bound listener address once the server is accepting connections (tests
 // and port-0 wrappers use it to learn the actual port).
-func run(ctx context.Context, addr, dir string, poll time.Duration, ready func(net.Addr)) error {
+func run(ctx context.Context, addr, dir, telemetryDir string, poll time.Duration, ready func(net.Addr)) error {
 	reg, err := registry.Open(dir)
 	if err != nil {
 		return err
 	}
-	srv := server.New(reg)
+	var opts []server.Option
+	if telemetryDir != "" {
+		opts = append(opts, server.WithTelemetryDir(telemetryDir))
+	}
+	srv := server.New(reg, opts...)
+	defer srv.CloseSpools()
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -58,7 +58,7 @@ func TestServeEndToEnd(t *testing.T) {
 	addrs := make(chan net.Addr, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, "127.0.0.1:0", dir, 5*time.Millisecond, func(a net.Addr) { addrs <- a })
+		errc <- run(ctx, "127.0.0.1:0", dir, "", 5*time.Millisecond, func(a net.Addr) { addrs <- a })
 	}()
 	var base string
 	select {
@@ -154,7 +154,7 @@ func TestServeEndToEnd(t *testing.T) {
 }
 
 func TestServeRejectsBadListenAddr(t *testing.T) {
-	err := run(context.Background(), "256.0.0.1:http", t.TempDir(), 0, nil)
+	err := run(context.Background(), "256.0.0.1:http", t.TempDir(), "", 0, nil)
 	if err == nil {
 		t.Fatal("bad listen address accepted")
 	}

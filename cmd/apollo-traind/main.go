@@ -1,0 +1,153 @@
+// Command apollo-traind is the continuous-training daemon that closes
+// Apollo's loop. It tails the telemetry spool that apollo-serve
+// -telemetry writes, watches the deployed champion for drift (mispredict
+// rate against observed-fastest variants, feature-distribution shift),
+// retrains a challenger on the spooled window when drift fires, and
+// publishes it back to the model service only if it does not regress the
+// champion on held-out telemetry. Every connected tuner then hot-swaps
+// to the new model through the ordinary client polling path.
+//
+//	apollo-traind -server http://127.0.0.1:8080 -spool ./spool \
+//	    -model lulesh/policy -interval 5s
+//
+// With -once the daemon runs a single poll-check-retrain step and exits,
+// which makes it scriptable (cron, CI smoke tests). -metrics-addr serves
+// the loop counters in Prometheus text format.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"apollo/internal/client"
+	"apollo/internal/core"
+	"apollo/internal/drift"
+	"apollo/internal/features"
+	"apollo/internal/server"
+	"apollo/internal/telemetry"
+	"apollo/internal/trainer"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://127.0.0.1:8080", "model service base URL")
+	spool := flag.String("spool", "apollo-spool", "telemetry spool root (apollo-serve -telemetry dir)")
+	model := flag.String("model", "", "model name to keep trained (required)")
+	param := flag.String("param", "execution_policy", "parameter to train: execution_policy or chunk_size")
+	interval := flag.Duration("interval", 5*time.Second, "poll-check-retrain cadence")
+	once := flag.Bool("once", false, "run one step and exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on this address (empty disables)")
+	mispredict := flag.Float64("mispredict", 0.25, "mispredict-rate retrain threshold")
+	shift := flag.Float64("shift", 6, "feature-shift (z-score) retrain threshold")
+	minRows := flag.Int("min-rows", 8, "smallest labeled window worth judging")
+	maxRegression := flag.Float64("max-regression", 0.02, "tolerated challenger predicted-time regression")
+	holdout := flag.Float64("holdout", 0.25, "holdout fraction for the champion/challenger duel")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *serverURL, *spool, *model, *param, *interval, *once, *metricsAddr,
+		*mispredict, *shift, *minRows, *maxRegression, *holdout); err != nil {
+		fmt.Fprintln(os.Stderr, "apollo-traind:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, serverURL, spool, model, param string, interval time.Duration,
+	once bool, metricsAddr string, mispredict, shift float64, minRows int,
+	maxRegression, holdout float64) error {
+	if model == "" {
+		return fmt.Errorf("-model is required")
+	}
+	var p core.Parameter
+	switch param {
+	case "execution_policy":
+		p = core.ExecutionPolicy
+	case "chunk_size":
+		p = core.ChunkSize
+	default:
+		return fmt.Errorf("unknown -param %q", param)
+	}
+
+	cur := telemetry.NewCursor(filepath.Join(spool, filepath.FromSlash(model)))
+	pub := trainer.NewClientPublisher(client.New(serverURL, client.Options{}))
+	tr, err := trainer.New(cur, pub, trainer.Config{
+		Name:   model,
+		Param:  p,
+		Schema: features.TableI(),
+		Drift: drift.Config{
+			MinRows:             minRows,
+			MispredictThreshold: mispredict,
+			ShiftThreshold:      shift,
+		},
+		MaxRegression: maxRegression,
+		Holdout:       holdout,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("apollo-traind: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	metrics := server.NewMetrics()
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			metrics.WritePrometheus(w)
+		})
+		fmt.Printf("apollo-traind: metrics on http://%s/metrics\n", ln.Addr())
+		go http.Serve(ln, mux)
+	}
+
+	step := func() error {
+		res, err := tr.Step()
+		if err != nil {
+			return err
+		}
+		gauge := func(name, help string, v int64) {
+			metrics.GaugeSet(name, "model", model, help, v)
+		}
+		gauge("apollo_trainer_window_rows", "Telemetry rows in the training window.", int64(res.WindowRows))
+		gauge("apollo_trainer_drift_triggers_total", "Drift triggers fired.", int64(tr.Triggers()))
+		gauge("apollo_trainer_retrains_total", "Challengers trained.", int64(tr.Retrains()))
+		gauge("apollo_trainer_publishes_total", "Challengers published.", int64(tr.Publishes()))
+		gauge("apollo_trainer_rejects_total", "Challengers rejected by the holdout duel.", int64(tr.Rejects()))
+		if once || res.NewRows > 0 {
+			fmt.Printf("apollo-traind: step new_rows=%d window=%d trigger=%v retrained=%v published=%v version=%d\n",
+				res.NewRows, res.WindowRows, res.Trigger != nil, res.Retrained, res.Published, res.Version)
+		}
+		return nil
+	}
+
+	if once {
+		return step()
+	}
+	fmt.Printf("apollo-traind: watching %s for %s every %v\n", spool, model, interval)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Println("apollo-traind: shutting down")
+			return nil
+		case <-tick.C:
+			if err := step(); err != nil {
+				fmt.Fprintln(os.Stderr, "apollo-traind: step:", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command apollo-tune runs a proxy application live against the model
+// service — the deployed half of the closed loop. The tuner fetches the
+// named policy model, decides every kernel launch through it, records
+// sampled (features, parameters, runtime) telemetry, explores the
+// non-chosen variant on a fixed cadence so the telemetry carries
+// counterfactuals, and uploads batches to the service's spool. While it
+// runs, it polls for retrained models and hot-swaps them mid-run.
+//
+//	apollo-tune -server http://127.0.0.1:8080 -model lulesh/policy \
+//	    -app LULESH -problem sedov -size 16 -steps 50
+//
+// With -wait-swaps N the run keeps stepping (up to -max-steps) until the
+// source has swapped N model versions in, so a smoke test can assert the
+// full record -> retrain -> hot-swap cycle.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"apollo/internal/app"
+	"apollo/internal/caliper"
+	"apollo/internal/client"
+	"apollo/internal/features"
+	"apollo/internal/harness"
+	"apollo/internal/platform"
+	"apollo/internal/raja"
+	"apollo/internal/telemetry"
+	"apollo/internal/tuner"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://127.0.0.1:8080", "model service base URL")
+	model := flag.String("model", "", "policy model name to tune with (required)")
+	appName := flag.String("app", "LULESH", "application: LULESH, CleverLeaf, or ARES")
+	problem := flag.String("problem", "sedov", "input deck")
+	size := flag.Int("size", 16, "global problem size")
+	steps := flag.Int("steps", 50, "timesteps to run")
+	maxSteps := flag.Int("max-steps", 0, "hard timestep cap when -wait-swaps keeps the run alive (0 = 20x steps)")
+	waitSwaps := flag.Int("wait-swaps", 0, "keep stepping until this many model swaps arrived (0 disables)")
+	sampleEvery := flag.Uint64("sample-every", 1, "record one launch in this many (power of two)")
+	exploreEvery := flag.Uint64("explore-every", 8, "flip the chosen policy on every n-th launch (0 disables)")
+	poll := flag.Duration("poll", 500*time.Millisecond, "model source poll interval")
+	flush := flag.Duration("flush", 500*time.Millisecond, "telemetry upload interval")
+	noise := flag.Float64("noise", 0.05, "measurement noise amplitude")
+	seed := flag.Uint64("seed", 1, "noise seed")
+	flag.Parse()
+
+	if err := run(*serverURL, *model, *appName, *problem, *size, *steps, *maxSteps, *waitSwaps,
+		*sampleEvery, *exploreEvery, *poll, *flush, *noise, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "apollo-tune:", err)
+		os.Exit(1)
+	}
+}
+
+func run(serverURL, model, appName, problem string, size, steps, maxSteps, waitSwaps int,
+	sampleEvery, exploreEvery uint64, poll, flush time.Duration, noise float64, seed uint64) error {
+	if model == "" {
+		return fmt.Errorf("-model is required")
+	}
+	var desc app.Descriptor
+	found := false
+	for _, d := range harness.Apps() {
+		if d.Name == appName {
+			desc, found = d, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown application %q", appName)
+	}
+	if maxSteps <= 0 {
+		maxSteps = 20 * steps
+	}
+
+	schema := features.TableI()
+	ann := caliper.New()
+	c := client.New(serverURL, client.Options{})
+	src := client.NewSource(c, schema, model, "")
+	if err := src.Refresh(); err != nil {
+		// Degraded start is allowed: the tuner launches on base params
+		// and picks the model up when the service appears.
+		fmt.Fprintln(os.Stderr, "apollo-tune: starting degraded:", err)
+	}
+	stopPoll := src.StartPolling(poll)
+	defer stopPoll()
+
+	rec := telemetry.NewRecorder(schema, ann, telemetry.Options{SampleEvery: sampleEvery})
+	up := client.NewUploader(c, model, rec, client.UploaderOptions{})
+	upCtx, upCancel := context.WithCancel(context.Background())
+	defer upCancel()
+	upDone := up.Start(upCtx, flush)
+
+	machine := platform.SandyBridgeNode()
+	clk := platform.NewSimClock(machine, noise, seed)
+	ctx := raja.NewSimContext(clk, desc.DefaultParams)
+	tn := tuner.NewTuner(schema, ann, desc.DefaultParams).
+		UseSource(src).
+		UseTelemetry(rec).
+		ExploreEvery(exploreEvery)
+	ctx.Hooks = tn
+
+	sim, err := desc.New(app.Config{Ctx: ctx, Ann: ann, Problem: problem, Size: size})
+	if err != nil {
+		return err
+	}
+
+	swapsAtStart := src.Swaps()
+	ran := 0
+	for ; ran < maxSteps; ran++ {
+		if ran >= steps && (waitSwaps == 0 || int(src.Swaps()-swapsAtStart) >= waitSwaps) {
+			break
+		}
+		sim.Step()
+		if waitSwaps > 0 && ran >= steps {
+			// The app's work is done; we are only waiting on the loop,
+			// so pace the extra steps to the service cadence.
+			time.Sleep(poll / 4)
+		}
+	}
+
+	upCancel()
+	<-upDone
+	fmt.Printf("apollo-tune: done steps=%d decisions=%d explored=%d seen=%d recorded=%d dropped=%d uploaded_rows=%d uploaded_batches=%d swaps=%d\n",
+		ran, tn.Decisions(), tn.Explored(), rec.Seen(), rec.Recorded(), rec.Dropped(),
+		up.Rows(), up.Batches(), src.Swaps()-swapsAtStart)
+	if waitSwaps > 0 && int(src.Swaps()-swapsAtStart) < waitSwaps {
+		return fmt.Errorf("run ended after %d steps with %d swaps, wanted %d",
+			ran, src.Swaps()-swapsAtStart, waitSwaps)
+	}
+	return nil
+}

@@ -12,20 +12,25 @@
 package caliper
 
 import (
-	"hash/fnv"
 	"sort"
 	"sync"
 )
 
 // Encode maps a string attribute value to a stable numeric code. The code
-// is a deterministic hash of the string, so it is identical across runs,
-// processes, and applications — a requirement for the paper's
+// is a deterministic hash of the string (FNV-1a 32), so it is identical
+// across runs, processes, and applications — a requirement for the paper's
 // cross-application experiments (Table III), where a model trained on one
-// application's samples must see the same encoding in another's.
+// application's samples must see the same encoding in another's. The hash
+// is inlined over the string so feature extraction on the launch path
+// allocates nothing.
 func Encode(s string) float64 {
-	h := fnv.New32a()
-	h.Write([]byte(s))
-	return float64(h.Sum32())
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return float64(h)
 }
 
 // Annotations is a thread-safe blackboard of named attribute stacks.

@@ -13,9 +13,11 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
@@ -24,6 +26,11 @@ import (
 
 	"apollo/internal/core"
 )
+
+// ErrNotFound reports that the service has no model under the requested
+// name. Callers bootstrapping a model (the continuous trainer publishing
+// a first champion) test for it with errors.Is.
+var ErrNotFound = errors.New("model not found")
 
 // Cached is one fetched model version held in-process. Immutable.
 type Cached struct {
@@ -57,6 +64,7 @@ type Client struct {
 	initialBackoff time.Duration
 	maxBackoff     time.Duration
 	now            func() time.Time // injectable for backoff tests
+	rand           func() float64   // injectable jitter source in [0,1)
 
 	// models is copy-on-write behind an atomic pointer: Predict reads it
 	// on every launch decision, so the read path must not take mu. mu
@@ -98,6 +106,7 @@ func New(base string, opts Options) *Client {
 		initialBackoff: opts.InitialBackoff,
 		maxBackoff:     opts.MaxBackoff,
 		now:            time.Now,
+		rand:           rand.Float64,
 		memo:           map[string]int{},
 	}
 	c.models.Store(&map[string]*modelState{})
@@ -246,6 +255,13 @@ func (c *Client) Fetch(name string) (*Cached, error) {
 		st.cur.Store(next)
 		c.ok(st)
 		return next, nil
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		c.fail(st)
+		if cur != nil {
+			return cur, nil
+		}
+		return nil, fmt.Errorf("client: fetching %s: %w", name, ErrNotFound)
 	default:
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 		c.fail(st)
@@ -264,19 +280,27 @@ func (c *Client) ok(st *modelState) {
 	c.mu.Unlock()
 }
 
-// fail arms the exponential backoff: 1x, 2x, 4x ... of InitialBackoff,
-// capped at MaxBackoff.
+// fail arms the backoff after a failed round trip.
 func (c *Client) fail(st *modelState) {
 	c.mu.Lock()
-	d := c.initialBackoff << uint(st.failures)
-	if d > c.maxBackoff || d <= 0 {
-		d = c.maxBackoff
-	}
+	st.nextAttempt = c.now().Add(c.backoff(st.failures))
 	if st.failures < 30 {
 		st.failures++
 	}
-	st.nextAttempt = c.now().Add(d)
 	c.mu.Unlock()
+}
+
+// backoff returns the delay after the failures-th consecutive failure:
+// full-jitter exponential backoff, rand() * min(MaxBackoff,
+// InitialBackoff<<failures). Spreading each delay uniformly over the
+// exponential window keeps a fleet of clients that all lost the server
+// at once from retrying in synchronized waves.
+func (c *Client) backoff(failures int) time.Duration {
+	d := c.initialBackoff << uint(failures)
+	if d > c.maxBackoff || d <= 0 {
+		d = c.maxBackoff
+	}
+	return time.Duration(c.rand() * float64(d))
 }
 
 // Predict evaluates the named model on a vector laid out by the model's

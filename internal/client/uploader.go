@@ -1,0 +1,156 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apollo/internal/dataset"
+	"apollo/internal/telemetry"
+)
+
+// PostTelemetry ships one batch to the service's POST /telemetry
+// endpoint. It does not touch the model-fetch backoff state — telemetry
+// is best-effort and must never delay a model refresh.
+func (c *Client) PostTelemetry(b *telemetry.Batch) error {
+	body, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/telemetry", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.fetches.Add(1)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: posting telemetry for %s: %w", b.Model, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: posting telemetry for %s: %s: %s",
+			b.Model, resp.Status, bytes.TrimSpace(data))
+	}
+	return nil
+}
+
+// UploaderOptions tunes an Uploader; the zero value picks defaults.
+type UploaderOptions struct {
+	// MaxPending bounds the rows retained across failed uploads
+	// (default 16384). When the service stays down past the bound, the
+	// oldest pending rows are discarded first: fresh telemetry is worth
+	// more to a drift detector than stale telemetry.
+	MaxPending int
+}
+
+// Uploader moves sampled measurements from an in-process
+// telemetry.Recorder to the model service in batches. Upload failures
+// keep the drained rows pending (bounded) and arm the client's
+// full-jitter backoff schedule so a down service is not hammered.
+type Uploader struct {
+	c     *Client
+	model string
+	rec   *telemetry.Recorder
+	max   int
+
+	mu       sync.Mutex
+	pending  *dataset.Frame
+	failures int
+	nextTry  time.Time
+
+	batches  atomic.Uint64 // batches accepted by the service
+	rows     atomic.Uint64 // rows accepted by the service
+	discards atomic.Uint64 // pending rows discarded to the bound
+}
+
+// NewUploader returns an uploader shipping rec's samples as model name.
+func NewUploader(c *Client, model string, rec *telemetry.Recorder, opts UploaderOptions) *Uploader {
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = 16384
+	}
+	return &Uploader{c: c, model: model, rec: rec, max: opts.MaxPending}
+}
+
+// Batches returns how many batches the service has accepted.
+func (u *Uploader) Batches() uint64 { return u.batches.Load() }
+
+// Rows returns how many sample rows the service has accepted.
+func (u *Uploader) Rows() uint64 { return u.rows.Load() }
+
+// Discarded returns how many pending rows were dropped to the
+// MaxPending bound during an extended outage.
+func (u *Uploader) Discarded() uint64 { return u.discards.Load() }
+
+// Flush drains the recorder and attempts one upload of everything
+// pending. Inside a backoff window it only drains (bounded) and returns
+// nil without a network attempt; a failed attempt keeps the rows for the
+// next flush and arms the backoff.
+func (u *Uploader) Flush() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if f := u.rec.Drain(0); f != nil {
+		if u.pending == nil {
+			u.pending = f
+		} else {
+			u.pending.Append(f)
+		}
+	}
+	if u.pending == nil || u.pending.Len() == 0 {
+		return nil
+	}
+	if over := u.pending.Len() - u.max; over > 0 {
+		idx := make([]int, u.max)
+		for i := range idx {
+			idx[i] = over + i
+		}
+		u.pending = u.pending.SelectRows(idx)
+		u.discards.Add(uint64(over))
+	}
+	if u.nextTry.After(u.c.now()) {
+		return nil
+	}
+	batch := telemetry.NewBatch(u.model, u.pending)
+	if err := u.c.PostTelemetry(batch); err != nil {
+		u.nextTry = u.c.now().Add(u.c.backoff(u.failures))
+		if u.failures < 30 {
+			u.failures++
+		}
+		return err
+	}
+	u.batches.Add(1)
+	u.rows.Add(uint64(u.pending.Len()))
+	u.pending = nil
+	u.failures = 0
+	u.nextTry = time.Time{}
+	return nil
+}
+
+// Start flushes every interval until ctx is done, then performs one
+// final flush so shutdown does not strand buffered samples. It returns
+// a done channel that closes when the loop exits.
+func (u *Uploader) Start(ctx context.Context, interval time.Duration) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				u.Flush()
+				return
+			case <-t.C:
+				u.Flush()
+			}
+		}
+	}()
+	return done
+}

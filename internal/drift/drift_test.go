@@ -1,0 +1,150 @@
+package drift
+
+import (
+	"math"
+	"testing"
+
+	"apollo/internal/core"
+	"apollo/internal/dataset"
+	"apollo/internal/features"
+	"apollo/internal/raja"
+)
+
+// obs is one observed feature vector with its measured runtimes.
+type obs struct {
+	n            float64 // num_indices
+	seqNS, ompNS float64
+}
+
+// labeledSet builds a telemetry-shaped labeled set from observations.
+func labeledSet(t *testing.T, observations []obs) *core.LabeledSet {
+	t.Helper()
+	schema := features.TableI()
+	frame := dataset.NewFrame(core.RecordColumns(schema)...)
+	ni := schema.Index(features.NumIndices)
+	for _, o := range observations {
+		for _, pol := range []raja.Policy{raja.SeqExec, raja.OmpParallelForExec} {
+			row := make([]float64, schema.Len()+3)
+			row[ni] = o.n
+			row[schema.Len()] = float64(pol)
+			if pol == raja.SeqExec {
+				row[schema.Len()+2] = o.seqNS
+			} else {
+				row[schema.Len()+2] = o.ompNS
+			}
+			frame.AddRow(row)
+		}
+	}
+	set, err := core.Label(frame, schema, core.ExecutionPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// crossoverObs: seq wins below ~6400 indices, omp above (the usual
+// Apollo regime).
+func crossoverObs(ns ...float64) []obs {
+	var out []obs
+	for _, n := range ns {
+		out = append(out, obs{n: n, seqNS: n * 10, ompNS: 8000 + n*10/8})
+	}
+	return out
+}
+
+func trainOn(t *testing.T, set *core.LabeledSet) *core.Model {
+	t.Helper()
+	m, err := core.Train(set, core.TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMispredictRateAgreesWithModel(t *testing.T) {
+	train := labeledSet(t, crossoverObs(32, 256, 2048, 16384, 131072))
+	m := trainOn(t, train)
+	if rate := MispredictRate(m, train); rate != 0 {
+		t.Errorf("self mispredict rate = %v, want 0", rate)
+	}
+	// Invert the regime: omp now wins everywhere, so the model's seq
+	// picks on small sizes (below the ~914-index crossover) become
+	// mispredicts.
+	var inverted []obs
+	for _, n := range []float64{32, 128, 512} {
+		inverted = append(inverted, obs{n: n, seqNS: n * 100, ompNS: n})
+	}
+	if rate := MispredictRate(m, labeledSet(t, inverted)); rate != 1 {
+		t.Errorf("inverted mispredict rate = %v, want 1", rate)
+	}
+}
+
+func TestDetectorFiresOnMispredicts(t *testing.T) {
+	m := trainOn(t, labeledSet(t, crossoverObs(32, 256, 2048, 16384, 131072)))
+	d := NewDetector(Config{MinRows: 4})
+
+	// First window agrees with the model: no trigger, baseline taken.
+	aligned := labeledSet(t, crossoverObs(64, 512, 1024, 4096, 32768))
+	if trig := d.Check(m, aligned); trig != nil {
+		t.Fatalf("aligned window fired: %v", trig)
+	}
+	if d.Baseline() == nil {
+		t.Fatal("first window did not become the baseline")
+	}
+
+	// The machine changed: omp wins everywhere now.
+	var inverted []obs
+	for _, n := range []float64{32, 256, 512, 1024, 2048} {
+		inverted = append(inverted, obs{n: n, seqNS: n * 100, ompNS: n})
+	}
+	trig := d.Check(m, labeledSet(t, inverted))
+	if trig == nil || trig.Reason != "mispredict" {
+		t.Fatalf("trigger = %v, want mispredict", trig)
+	}
+	if trig.MispredictRate <= 0.25 || trig.Rows != 5 {
+		t.Errorf("trigger evidence = %+v", trig)
+	}
+}
+
+func TestDetectorShiftWithoutMispredicts(t *testing.T) {
+	m := trainOn(t, labeledSet(t, crossoverObs(32, 256, 2048, 16384, 131072)))
+	d := NewDetector(Config{MinRows: 2, ShiftThreshold: 3})
+	d.SetBaseline(SnapshotSet(labeledSet(t, crossoverObs(32, 64, 128, 256))))
+
+	// All-large inputs: the model still picks right (omp), but the
+	// feature distribution left the baseline region entirely.
+	large := labeledSet(t, crossoverObs(1e6, 2e6, 4e6))
+	trig := d.Check(m, large)
+	if trig == nil || trig.Reason != "shift" {
+		t.Fatalf("trigger = %v, want shift", trig)
+	}
+	if trig.ShiftFeature != features.NumIndices {
+		t.Errorf("shift feature = %q", trig.ShiftFeature)
+	}
+	if trig.MispredictRate != 0 {
+		t.Errorf("mispredict rate = %v, want 0", trig.MispredictRate)
+	}
+}
+
+func TestDetectorRespectsMinRows(t *testing.T) {
+	m := trainOn(t, labeledSet(t, crossoverObs(32, 256, 2048, 16384, 131072)))
+	d := NewDetector(Config{MinRows: 50})
+	if trig := d.Check(m, labeledSet(t, []obs{{n: 32, seqNS: 3200, ompNS: 32}})); trig != nil {
+		t.Errorf("tiny window fired: %v", trig)
+	}
+}
+
+func TestPredictedTimeNS(t *testing.T) {
+	set := labeledSet(t, []obs{
+		{n: 32, seqNS: 100, ompNS: 500},
+		{n: 100000, seqNS: 9000, ompNS: 1000},
+	})
+	m := trainOn(t, set)
+	// A perfect model pays the best time of each vector: (100+1000)/2.
+	if got := PredictedTimeNS(m, set); got != 550 {
+		t.Errorf("predicted ns = %v, want 550", got)
+	}
+	if math.IsNaN(PredictedTimeNS(m, set)) {
+		t.Error("NaN for fully observed set")
+	}
+}

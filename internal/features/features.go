@@ -142,11 +142,19 @@ func (s *Schema) Project(v []float64, target *Schema) []float64 {
 // annotation blackboard (zero when unset), so applications can extend the
 // schema with custom features (e.g. num_materials) just by annotating.
 func (s *Schema) Extract(k *raja.Kernel, iset *raja.IndexSet, ann *caliper.Annotations) []float64 {
-	v := make([]float64, len(s.names))
+	return s.ExtractInto(make([]float64, len(s.names)), k, iset, ann)
+}
+
+// ExtractInto assembles the feature vector into dst, which must have at
+// least Len() capacity, and returns dst[:Len()]. It allocates nothing
+// itself, so callers with preallocated buffers (the telemetry ring) can
+// capture features on the launch path without garbage.
+func (s *Schema) ExtractInto(dst []float64, k *raja.Kernel, iset *raja.IndexSet, ann *caliper.Annotations) []float64 {
+	dst = dst[:len(s.names)]
 	for i, n := range s.names {
-		v[i] = featureValue(n, k, iset, ann)
+		dst[i] = featureValue(n, k, iset, ann)
 	}
-	return v
+	return dst
 }
 
 func featureValue(name string, k *raja.Kernel, iset *raja.IndexSet, ann *caliper.Annotations) float64 {

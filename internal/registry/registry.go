@@ -56,6 +56,7 @@ type Registry struct {
 	mu      sync.Mutex // guards publishes and the byName map identity
 	byName  atomic.Pointer[map[string]*atomic.Pointer[Entry]]
 	watched map[string]fileState // path -> last seen state, used by the watcher
+	logf    func(format string, args ...any)
 }
 
 // fileState identifies a disk file revision cheaply.
@@ -66,11 +67,19 @@ type fileState struct {
 
 // New returns an empty, memory-only registry.
 func New() *Registry {
-	r := &Registry{}
+	r := &Registry{logf: func(string, ...any) {}}
 	empty := map[string]*atomic.Pointer[Entry]{}
 	r.byName.Store(&empty)
 	r.watched = map[string]fileState{}
 	return r
+}
+
+// SetLogf routes the watcher's skip diagnostics (corrupt model files,
+// unreadable subtrees) somewhere visible. The default discards them.
+func (r *Registry) SetLogf(logf func(format string, args ...any)) {
+	if logf != nil {
+		r.logf = logf
+	}
 }
 
 // Open returns a registry persisted under dir, creating the directory if
@@ -271,8 +280,17 @@ func (r *Registry) scan() (int, error) {
 	}
 	var changed []found
 	err := filepath.Walk(r.dir, func(path string, info os.FileInfo, err error) error {
-		if err != nil || info.IsDir() {
-			return err
+		if err != nil {
+			// One unreadable file or subtree must not stop the whole
+			// registry from reloading: log it and keep walking.
+			r.logf("registry: skipping %s: %v", path, err)
+			if info != nil && info.IsDir() {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if info.IsDir() {
+			return nil
 		}
 		name, version, ok := r.parseVersionPath(path)
 		if !ok {
@@ -314,7 +332,11 @@ func (r *Registry) scan() (int, error) {
 		env, err := core.ParseModelOrEnvelope(data)
 		if err != nil {
 			r.mu.Unlock()
-			continue // not a valid model file; ignore, keep serving
+			// Corrupt or truncated model file: ignore it and keep
+			// serving what we have. watched remembers this revision, so
+			// the error logs once per file change, not once per poll.
+			r.logf("registry: ignoring corrupt model file %s: %v", f.path, err)
+			continue
 		}
 		version := env.Version
 		if version == 0 {

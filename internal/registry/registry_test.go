@@ -2,8 +2,10 @@ package registry
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -254,5 +256,49 @@ func TestPublishRejectsIncompleteModel(t *testing.T) {
 	}
 	if _, err := r.PublishRaw("x", []byte("{}")); err == nil {
 		t.Error("empty JSON accepted")
+	}
+}
+
+func TestScanSkipsCorruptModelFileAndLogsOnce(t *testing.T) {
+	dir := t.TempDir()
+	data, _ := testModel(t, false).MarshalJSON()
+	// A truncated model file right next to a valid one.
+	if err := os.WriteFile(filepath.Join(dir, "bad.v1.json"), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "good.v1.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New()
+	r.dir = dir
+	var logs []string
+	r.SetLogf(func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	})
+	n, err := r.scan()
+	if err != nil {
+		t.Fatalf("scan with corrupt neighbor failed: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("loaded %d models, want 1", n)
+	}
+	if _, ok := r.Get("good"); !ok {
+		t.Error("valid model not loaded")
+	}
+	if _, ok := r.Get("bad"); ok {
+		t.Error("corrupt model loaded")
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], "bad.v1.json") {
+		t.Errorf("logs = %q, want one line naming bad.v1.json", logs)
+	}
+
+	// The corrupt file is remembered: further polls stay silent until it
+	// changes on disk.
+	if _, err := r.scan(); err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 1 {
+		t.Errorf("repeat scan logged again: %q", logs)
 	}
 }

@@ -5,6 +5,8 @@
 //	GET  /models/{name}   fetch the current envelope (ETag / If-None-Match)
 //	GET  /models          list registered models
 //	POST /predict         evaluate a model on one vector or a batch
+//	POST /telemetry       ingest sampled launch measurements into the
+//	                      per-model spool (enabled by WithTelemetryDir)
 //	GET  /healthz         liveness
 //	GET  /metrics         Prometheus text: requests, predictions, cache
 //	                      hits, model versions, latency histograms
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"apollo/internal/registry"
+	"apollo/internal/telemetry"
 )
 
 // maxModelBytes caps PUT bodies; trained trees are tens of kilobytes.
@@ -44,21 +47,31 @@ type Server struct {
 	cacheMu sync.RWMutex
 	// decision memo: ETag + vector bytes -> predicted class.
 	decisions map[string]int
+
+	// telemetry ingestion (off when telemetryDir is empty).
+	telemetryDir string
+	spoolMu      sync.Mutex
+	spools       map[string]*telemetry.Spool
 }
 
 // New returns a server over reg with a fresh metrics set.
-func New(reg *registry.Registry) *Server {
+func New(reg *registry.Registry, opts ...Option) *Server {
 	s := &Server{
 		reg:       reg,
 		metrics:   NewMetrics(),
 		mux:       http.NewServeMux(),
 		decisions: make(map[string]int),
+		spools:    make(map[string]*telemetry.Spool),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.mux.HandleFunc("PUT /models/{name...}", s.instrument("models_put", s.handlePut))
 	s.mux.HandleFunc("GET /models/{name...}", s.instrument("models_get", s.handleGet))
 	s.mux.HandleFunc("GET /models", s.instrument("models_list", s.handleList))
 	s.mux.HandleFunc("GET /models/{$}", s.instrument("models_list", s.handleList))
 	s.mux.HandleFunc("POST /predict", s.instrument("predict", s.handlePredict))
+	s.mux.HandleFunc("POST /telemetry", s.instrument("telemetry", s.handleTelemetry))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Seed version gauges for models loaded from disk at open.

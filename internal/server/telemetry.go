@@ -1,0 +1,117 @@
+// Telemetry ingestion: POST /telemetry accepts uploader batches and
+// appends them to a per-model durable spool that the continuous trainer
+// tails. Ingestion is off unless the daemon was started with a spool
+// directory (WithTelemetryDir) — a read-only serving replica then
+// answers 503 and clients keep their samples pending.
+
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+
+	"apollo/internal/telemetry"
+)
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithTelemetryDir enables telemetry ingestion, spooling each model's
+// samples under dir/<model name>.
+func WithTelemetryDir(dir string) Option {
+	return func(s *Server) { s.telemetryDir = dir }
+}
+
+// TelemetryDir returns the spool root ("" when ingestion is disabled).
+func (s *Server) TelemetryDir() string { return s.telemetryDir }
+
+// spool returns (opening if needed) the spool for model name.
+func (s *Server) spool(name string) (*telemetry.Spool, error) {
+	s.spoolMu.Lock()
+	defer s.spoolMu.Unlock()
+	if sp, ok := s.spools[name]; ok {
+		return sp, nil
+	}
+	sp, err := telemetry.OpenSpool(filepath.Join(s.telemetryDir, filepath.FromSlash(name)), 0)
+	if err != nil {
+		return nil, err
+	}
+	s.spools[name] = sp
+	return sp, nil
+}
+
+// CloseSpools seals every open telemetry spool segment.
+func (s *Server) CloseSpools() error {
+	s.spoolMu.Lock()
+	defer s.spoolMu.Unlock()
+	var first error
+	for _, sp := range s.spools {
+		if err := sp.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// rejectTelemetry counts and answers one rejected batch.
+func (s *Server) rejectTelemetry(w http.ResponseWriter, status int, reason, format string, args ...any) {
+	s.metrics.CounterAdd("apollo_telemetry_rejected_total", "reason", reason,
+		"Telemetry batches rejected, by reason.", 1)
+	errorJSON(w, status, format, args...)
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if s.telemetryDir == "" {
+		s.rejectTelemetry(w, http.StatusServiceUnavailable, "disabled",
+			"telemetry ingestion is disabled on this replica")
+		return
+	}
+	var b telemetry.Batch
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxModelBytes)).Decode(&b); err != nil {
+		s.rejectTelemetry(w, http.StatusBadRequest, "decode", "decoding batch: %v", err)
+		return
+	}
+	if err := b.Validate(); err != nil {
+		s.rejectTelemetry(w, http.StatusBadRequest, "invalid", "%v", err)
+		return
+	}
+	if strings.Contains(b.Model, "..") || strings.HasPrefix(b.Model, "/") {
+		s.rejectTelemetry(w, http.StatusBadRequest, "name", "invalid model name %q", b.Model)
+		return
+	}
+	// When the target model is registered, its feature schema must be a
+	// subset of the batch columns — otherwise the spooled rows could
+	// never retrain it.
+	if e, ok := s.reg.Get(b.Model); ok {
+		cols := map[string]bool{}
+		for _, c := range b.Columns {
+			cols[c] = true
+		}
+		for _, f := range e.Model.Schema.Names() {
+			if !cols[f] {
+				s.rejectTelemetry(w, http.StatusBadRequest, "schema",
+					"batch columns %v lack model feature %q", b.Columns, f)
+				return
+			}
+		}
+	}
+	sp, err := s.spool(b.Model)
+	if err != nil {
+		s.rejectTelemetry(w, http.StatusInternalServerError, "spool", "opening spool: %v", err)
+		return
+	}
+	if err := sp.Append(b.Columns, b.Rows); err != nil {
+		s.rejectTelemetry(w, http.StatusConflict, "spool", "%v", err)
+		return
+	}
+	s.metrics.CounterAdd("apollo_telemetry_batches_total", "model", b.Model,
+		"Telemetry batches ingested, by model.", 1)
+	s.metrics.CounterAdd("apollo_telemetry_rows_total", "model", b.Model,
+		"Telemetry sample rows ingested, by model.", uint64(len(b.Rows)))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]any{"rows": len(b.Rows), "spooled": sp.Appended()})
+}

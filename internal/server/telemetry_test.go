@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"apollo/internal/core"
+	"apollo/internal/dataset"
+	"apollo/internal/registry"
+	"apollo/internal/telemetry"
+)
+
+// testBatch builds a valid batch in the capture layout of the test
+// model's schema.
+func testBatch(t *testing.T, model string, rows [][]float64) *telemetry.Batch {
+	t.Helper()
+	cols := core.RecordColumns(testModel(t).Schema)
+	f := dataset.NewFrame(cols...)
+	for _, r := range rows {
+		full := make([]float64, len(cols))
+		copy(full, r)
+		f.AddRow(full)
+	}
+	return telemetry.NewBatch(model, f)
+}
+
+func postBatch(t *testing.T, url string, b *telemetry.Batch) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/telemetry", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func metricsText(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestTelemetryIngestSpoolsAndCounts(t *testing.T) {
+	dir := t.TempDir()
+	reg := registry.New()
+	srv := New(reg, WithTelemetryDir(dir))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	putModel(t, ts, "app/policy", testModel(t))
+	resp := postBatch(t, ts.URL, testBatch(t, "app/policy", [][]float64{{100}, {200}}))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %s", resp.Status)
+	}
+
+	// Rows landed in the model's spool, tailable by a cursor.
+	cur := telemetry.NewCursor(filepath.Join(dir, "app", "policy"))
+	if err := srv.CloseSpools(); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := cur.Poll()
+	if err != nil || frame == nil || frame.Len() != 2 {
+		t.Fatalf("spool poll = %v, %v; want 2 rows", frame, err)
+	}
+
+	mt := metricsText(t, ts)
+	for _, want := range []string{
+		`apollo_telemetry_batches_total{model="app/policy"} 1`,
+		`apollo_telemetry_rows_total{model="app/policy"} 2`,
+	} {
+		if !strings.Contains(mt, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestTelemetryIngestRejections(t *testing.T) {
+	reg := registry.New()
+	srv := New(reg, WithTelemetryDir(t.TempDir()))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	putModel(t, ts, "app/policy", testModel(t))
+
+	// Tampered schema hash.
+	b := testBatch(t, "app/policy", [][]float64{{1}})
+	b.SchemaHash = "0000000000000000"
+	if resp := postBatch(t, ts.URL, b); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad hash: status %s", resp.Status)
+	}
+
+	// Columns that cannot retrain the registered model.
+	narrow := dataset.NewFrame("bogus", "time_ns")
+	narrow.AddRow([]float64{1, 2})
+	if resp := postBatch(t, ts.URL, telemetry.NewBatch("app/policy", narrow)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("schema mismatch: status %s", resp.Status)
+	}
+
+	// Path traversal in the model name.
+	if resp := postBatch(t, ts.URL, testBatch(t, "../../etc/cron", [][]float64{{1}})); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("traversal name: status %s", resp.Status)
+	}
+
+	mt := metricsText(t, ts)
+	for _, want := range []string{
+		`apollo_telemetry_rejected_total{reason="invalid"} 1`,
+		`apollo_telemetry_rejected_total{reason="schema"} 1`,
+		`apollo_telemetry_rejected_total{reason="name"} 1`,
+	} {
+		if !strings.Contains(mt, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// A model not yet registered is accepted (trainer bootstrap).
+	if resp := postBatch(t, ts.URL, testBatch(t, "new/model", [][]float64{{1}})); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("unregistered model: status %s", resp.Status)
+	}
+}
+
+func TestTelemetryDisabledAnswers503(t *testing.T) {
+	ts, _ := newTestServer(t) // no WithTelemetryDir
+	resp := postBatch(t, ts.URL, testBatch(t, "app/policy", [][]float64{{1}}))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("disabled ingest: status %s", resp.Status)
+	}
+}

@@ -1,0 +1,358 @@
+// Spool files make ingested telemetry durable for the continuous
+// trainer. A spool is a directory of numbered JSONL segments in the
+// dataset frame format (header line with the columns, then one JSON
+// array per row), so every sealed segment is directly loadable by
+// dataset.ReadJSONL and apollo-train. The writer appends whole lines to
+// the active segment and rotates to a fresh segment number once the
+// active one exceeds the size cap — rotation switches files atomically
+// under the spool lock and never renames, so a concurrently tailing
+// reader can keep its per-segment byte offsets. The reader (Cursor)
+// consumes only '\n'-terminated lines, which makes it safe to tail the
+// active segment of a live writer in another process: a torn final line
+// is simply left for the next poll.
+
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"apollo/internal/dataset"
+)
+
+// DefaultSegmentBytes is the rotation threshold for spool segments.
+const DefaultSegmentBytes = 8 << 20
+
+// segPrefix/segSuffix frame the zero-padded segment number.
+const (
+	segPrefix = "seg-"
+	segSuffix = ".jsonl"
+)
+
+// spoolHeader is the first line of every segment — the dataset JSONL
+// frame header, so segments double as ordinary training-data files.
+type spoolHeader struct {
+	Format  string   `json:"format"`
+	Columns []string `json:"columns"`
+}
+
+const spoolFrameFormatID = "apollo-frame-v1"
+
+// Spool appends telemetry rows durably under one directory.
+type Spool struct {
+	dir      string
+	maxBytes int64
+
+	mu       sync.Mutex
+	columns  []string
+	seq      int
+	f        *os.File
+	size     int64
+	appended uint64
+}
+
+// OpenSpool opens (creating if needed) the spool at dir. Appends rotate
+// to a new segment once the active one exceeds maxSegmentBytes
+// (DefaultSegmentBytes when <= 0). If segments already exist, their
+// column layout is adopted and writing resumes on a fresh segment, so a
+// restarted daemon never appends mid-file.
+func OpenSpool(dir string, maxSegmentBytes int64) (*Spool, error) {
+	if maxSegmentBytes <= 0 {
+		maxSegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Spool{dir: dir, maxBytes: maxSegmentBytes}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		s.seq = segs[len(segs)-1]
+		cols, err := readSegmentColumns(s.segmentPath(segs[0]))
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: reading spool %s: %w", dir, err)
+		}
+		s.columns = cols
+	}
+	return s, nil
+}
+
+// Dir returns the spool directory.
+func (s *Spool) Dir() string { return s.dir }
+
+// Columns returns the spool's row layout (nil before the first append of
+// a fresh spool).
+func (s *Spool) Columns() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.columns...)
+}
+
+// Appended returns the number of rows written over the spool's lifetime
+// in this process.
+func (s *Spool) Appended() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended
+}
+
+// Append writes rows laid out by columns. The first append fixes the
+// spool's layout; later appends must match it exactly or fail without
+// writing anything.
+func (s *Spool) Append(columns []string, rows [][]float64) error {
+	for i, row := range rows {
+		if len(row) != len(columns) {
+			return fmt.Errorf("telemetry: spool row %d has %d values, want %d", i, len(row), len(columns))
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.columns == nil {
+		s.columns = append([]string(nil), columns...)
+	} else if !equalColumns(s.columns, columns) {
+		return fmt.Errorf("telemetry: spool %s expects columns %v, got %v", s.dir, s.columns, columns)
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if s.f == nil {
+		if err := s.openSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, row := range rows {
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	n, err := s.f.Write(buf.Bytes())
+	s.size += int64(n)
+	if err != nil {
+		return err
+	}
+	s.appended += uint64(len(rows))
+	if s.size >= s.maxBytes {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+// Rotate seals the active segment so the next append starts a new one.
+// Rotating an idle spool is a no-op.
+func (s *Spool) Rotate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	return s.rotateLocked()
+}
+
+// Close seals the active segment.
+func (s *Spool) Close() error { return s.Rotate() }
+
+func (s *Spool) rotateLocked() error {
+	err := s.f.Close()
+	s.f, s.size = nil, 0
+	return err
+}
+
+// openSegmentLocked starts the next segment and writes its header line.
+func (s *Spool) openSegmentLocked() error {
+	s.seq++
+	f, err := os.OpenFile(s.segmentPath(s.seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr, err := json.Marshal(spoolHeader{Format: spoolFrameFormatID, Columns: s.columns})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	hdr = append(hdr, '\n')
+	n, err := f.Write(hdr)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	s.f, s.size = f, int64(n)
+	return nil
+}
+
+func (s *Spool) segmentPath(seq int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix))
+}
+
+// listSegments returns the segment numbers present in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var segs []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+		if err != nil || n <= 0 {
+			continue
+		}
+		segs = append(segs, n)
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// readSegmentColumns parses a segment's header line.
+func readSegmentColumns(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr spoolHeader
+	if err := json.NewDecoder(f).Decode(&hdr); err != nil {
+		return nil, err
+	}
+	if hdr.Format != spoolFrameFormatID {
+		return nil, fmt.Errorf("telemetry: segment %s has format %q, want %q", path, hdr.Format, spoolFrameFormatID)
+	}
+	return hdr.Columns, nil
+}
+
+// Cursor tails a spool directory, returning only rows it has not
+// returned before. It tracks a byte offset per segment, consumes only
+// complete lines, and tolerates a partially written final line (left for
+// the next poll), so it can follow a spool that another process is
+// actively appending to.
+type Cursor struct {
+	dir string
+
+	mu      sync.Mutex
+	offsets map[int]int64
+	columns []string
+}
+
+// NewCursor returns a cursor over the spool at dir, positioned at the
+// beginning (the first Poll returns everything already spooled).
+func NewCursor(dir string) *Cursor {
+	return &Cursor{dir: dir, offsets: map[int]int64{}}
+}
+
+// Columns returns the spool layout seen so far (nil before any rows).
+func (c *Cursor) Columns() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.columns...)
+}
+
+// Poll reads every complete row appended since the previous Poll,
+// returning nil when there is nothing new. A spool directory that does
+// not exist yet reads as empty, so a trainer may start before the first
+// batch arrives.
+func (c *Cursor) Poll() (*dataset.Frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	segs, err := listSegments(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	var frame *dataset.Frame
+	for _, seq := range segs {
+		path := filepath.Join(c.dir, fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix))
+		if err := c.pollSegmentLocked(path, seq, &frame); err != nil {
+			return nil, fmt.Errorf("telemetry: tailing %s: %w", path, err)
+		}
+	}
+	return frame, nil
+}
+
+func (c *Cursor) pollSegmentLocked(path string, seq int, frame **dataset.Frame) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // raced a writer listing; next poll sees it
+		}
+		return err
+	}
+	offset := c.offsets[seq]
+	if offset > int64(len(data)) {
+		// The segment shrank (operator intervention); restart it.
+		offset = 0
+	}
+	buf := data[offset:]
+	// Consume only complete lines; a torn tail waits for the next poll.
+	end := bytes.LastIndexByte(buf, '\n')
+	if end < 0 {
+		return nil
+	}
+	buf = buf[:end+1]
+	consumed := int64(0)
+	for len(buf) > 0 {
+		nl := bytes.IndexByte(buf, '\n')
+		line := buf[:nl]
+		buf = buf[nl+1:]
+		lineLen := int64(nl + 1)
+		if offset+consumed == 0 {
+			var hdr spoolHeader
+			if err := json.Unmarshal(line, &hdr); err != nil {
+				return fmt.Errorf("bad header: %w", err)
+			}
+			if hdr.Format != spoolFrameFormatID {
+				return fmt.Errorf("format %q, want %q", hdr.Format, spoolFrameFormatID)
+			}
+			if c.columns == nil {
+				c.columns = append([]string(nil), hdr.Columns...)
+			} else if !equalColumns(c.columns, hdr.Columns) {
+				return fmt.Errorf("columns changed: %v -> %v", c.columns, hdr.Columns)
+			}
+			consumed += lineLen
+			continue
+		}
+		var row []float64
+		if err := json.Unmarshal(line, &row); err != nil {
+			return fmt.Errorf("bad row: %w", err)
+		}
+		if len(row) != len(c.columns) {
+			return fmt.Errorf("row has %d values, want %d", len(row), len(c.columns))
+		}
+		if *frame == nil {
+			*frame = dataset.NewFrame(c.columns...)
+		}
+		(*frame).AddRow(row)
+		consumed += lineLen
+	}
+	c.offsets[seq] = offset + consumed
+	return nil
+}
+
+func equalColumns(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

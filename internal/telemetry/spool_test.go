@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"apollo/internal/dataset"
+)
+
+func TestSpoolAppendRotateAndCursorTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSpool(dir, 200) // tiny cap: force rotation quickly
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []string{"a", "b"}
+	cur := NewCursor(dir)
+
+	if err := s.Append(cols, [][]float64{{1, 10}, {2, 20}}); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := cur.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame == nil || frame.Len() != 2 || frame.At(1, "b") != 20 {
+		t.Fatalf("first poll = %v", frame)
+	}
+
+	// Column mismatch is rejected without writing.
+	if err := s.Append([]string{"a"}, [][]float64{{1}}); err == nil {
+		t.Error("mismatched columns accepted")
+	}
+	// Row width mismatch is rejected.
+	if err := s.Append(cols, [][]float64{{1}}); err == nil {
+		t.Error("short row accepted")
+	}
+
+	// Enough data to rotate at least once.
+	for i := 0; i < 30; i++ {
+		if err := s.Append(cols, [][]float64{{float64(i), float64(i) * 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, found segments %v", segs)
+	}
+	frame, err = cur.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame == nil || frame.Len() != 30 {
+		t.Fatalf("tail poll rows = %v, want 30", frame)
+	}
+	if f, err := cur.Poll(); err != nil || f != nil {
+		t.Fatalf("idle poll = %v, %v", f, err)
+	}
+	if s.Appended() != 32 {
+		t.Errorf("appended = %d, want 32", s.Appended())
+	}
+
+	// Sealed segments are plain dataset JSONL frames.
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := dataset.LoadJSONL(filepath.Join(dir, "seg-00000001.jsonl"))
+	if err != nil {
+		t.Fatalf("sealed segment not a loadable frame: %v", err)
+	}
+	if f.Col("a") < 0 || f.Col("b") < 0 {
+		t.Errorf("segment columns = %v", f.Cols())
+	}
+}
+
+func TestCursorToleratesTornTailLine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSpool(dir, DefaultSegmentBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]string{"x"}, [][]float64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer mid-line: append bytes with no trailing newline.
+	seg := filepath.Join(dir, "seg-00000001.jsonl")
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("[2"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cur := NewCursor(dir)
+	frame, err := cur.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame == nil || frame.Len() != 1 {
+		t.Fatalf("torn-tail poll = %v, want the 1 complete row", frame)
+	}
+
+	// The line completes; the next poll picks up exactly the new row.
+	f, err = os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("]\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	frame, err = cur.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame == nil || frame.Len() != 1 || frame.At(0, "x") != 2 {
+		t.Fatalf("completed-line poll = %v, want row [2]", frame)
+	}
+}
+
+func TestSpoolReopenResumesOnFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSpool(dir, DefaultSegmentBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]string{"x"}, [][]float64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSpool(dir, DefaultSegmentBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Columns(); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("reopened columns = %v", got)
+	}
+	// Reopened spools reject a different layout.
+	if err := s2.Append([]string{"y"}, [][]float64{{2}}); err == nil {
+		t.Error("layout change accepted across reopen")
+	}
+	if err := s2.Append([]string{"x"}, [][]float64{{2}}); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 2 {
+		t.Fatalf("segments after reopen = %v (%v), want 2", segs, err)
+	}
+	cur := NewCursor(dir)
+	frame, err := cur.Poll()
+	if err != nil || frame == nil || frame.Len() != 2 {
+		t.Fatalf("cursor over reopened spool = %v, %v", frame, err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package telemetry is the capture side of Apollo's closed training
+// loop. A deployed tuner only evaluates its model; it never learns
+// whether the chosen variant was actually the fastest. This package
+// records a sampled stream of (feature vector, chosen parameters,
+// elapsed time) tuples from the launch hot path, buffers them in a
+// bounded lock-free ring, and defines the wire batch the uploader ships
+// to the model service — where the spool (see spool.go) makes them
+// durable for the continuous trainer.
+//
+// The capture contract is strict because Tuner.End runs inside every
+// kernel launch: the unsampled path costs one atomic load plus one
+// atomic add and allocates nothing; the sampled path extracts features
+// into a preallocated ring slot and never blocks (a full ring drops the
+// sample and counts the drop).
+package telemetry
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+
+	"apollo/internal/caliper"
+	"apollo/internal/core"
+	"apollo/internal/dataset"
+	"apollo/internal/features"
+	"apollo/internal/raja"
+)
+
+// Options tunes a Recorder; the zero value picks sensible defaults.
+type Options struct {
+	// SampleEvery records one launch in every SampleEvery, rounded up
+	// to a power of two so the unsampled decision is a mask test, not a
+	// division (default 1: record everything; a production tuner
+	// deciding millions of times per second would set this in the
+	// thousands).
+	SampleEvery uint64
+	// Capacity is the ring size in samples, rounded up to a power of
+	// two (default 4096). When the uploader falls behind, the oldest
+	// unsent capacity is not overwritten — new samples are dropped and
+	// counted, so the consumer never races a producer over a slot.
+	Capacity int
+}
+
+// Recorder captures sampled launch measurements into a bounded ring.
+// Record is safe for any number of concurrent producers; Drain may run
+// concurrently with producers (it is the consumer side of the ring).
+type Recorder struct {
+	schema     *features.Schema
+	ann        *caliper.Annotations
+	every      uint64 // power of two; sampleMask = every-1
+	sampleMask uint64
+	columns    []string
+
+	seq      atomic.Uint64 // launches seen (sampling counter)
+	recorded atomic.Uint64 // samples enqueued
+	dropped  atomic.Uint64 // samples lost to a full ring
+
+	// Vyukov bounded MPMC queue: each slot carries a sequence number
+	// that encodes whether it is free for the producer at a given
+	// ticket or holds data for the consumer at a given ticket.
+	mask    uint64
+	slots   []slot
+	enqueue atomic.Uint64
+	dequeue atomic.Uint64
+}
+
+// slot is one ring cell with its preallocated row storage.
+type slot struct {
+	seq atomic.Uint64
+	row []float64
+	_   [4]uint64 // pad to keep neighboring seq words off one cache line
+}
+
+// NewRecorder returns a recorder capturing vectors of schema (plus the
+// chosen policy, chunk, and elapsed time) against the annotation
+// blackboard ann (which may be nil).
+func NewRecorder(schema *features.Schema, ann *caliper.Annotations, opts Options) *Recorder {
+	if opts.SampleEvery == 0 {
+		opts.SampleEvery = 1
+	}
+	every := uint64(1)
+	for every < opts.SampleEvery {
+		every <<= 1
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = 4096
+	}
+	capacity := 1
+	for capacity < opts.Capacity {
+		capacity <<= 1
+	}
+	r := &Recorder{
+		schema:     schema,
+		ann:        ann,
+		every:      every,
+		sampleMask: every - 1,
+		columns:    core.RecordColumns(schema),
+		mask:       uint64(capacity - 1),
+		slots:      make([]slot, capacity),
+	}
+	width := schema.Len() + 3
+	backing := make([]float64, capacity*width)
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+		r.slots[i].row = backing[i*width : (i+1)*width : (i+1)*width]
+	}
+	return r
+}
+
+// Columns returns the row layout: the schema's features, then the
+// policy, chunk, and time_ns columns (core.RecordColumns order).
+func (r *Recorder) Columns() []string { return append([]string(nil), r.columns...) }
+
+// Schema returns the capture schema.
+func (r *Recorder) Schema() *features.Schema { return r.schema }
+
+// Seen returns how many launches the recorder has observed.
+func (r *Recorder) Seen() uint64 { return r.seq.Load() }
+
+// Recorded returns how many samples entered the ring.
+func (r *Recorder) Recorded() uint64 { return r.recorded.Load() }
+
+// Dropped returns how many sampled launches were lost to a full ring.
+func (r *Recorder) Dropped() uint64 { return r.dropped.Load() }
+
+// Record observes one finished launch. The unsampled path is two atomic
+// operations and zero allocations; the sampled path claims a ring slot,
+// extracts the feature vector into its preallocated row, and publishes
+// it. It never blocks: contention resolves by CAS retry and a full ring
+// drops the sample.
+func (r *Recorder) Record(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, elapsedNS float64) {
+	if r.seq.Add(1)&r.sampleMask != 0 {
+		return
+	}
+	for {
+		pos := r.enqueue.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if !r.enqueue.CompareAndSwap(pos, pos+1) {
+				continue
+			}
+			n := r.schema.Len()
+			r.schema.ExtractInto(s.row[:n], k, iset, r.ann)
+			s.row[n] = float64(p.Policy)
+			s.row[n+1] = float64(p.Chunk)
+			s.row[n+2] = elapsedNS
+			s.seq.Store(pos + 1) // publish: consumer ticket pos may now read
+			r.recorded.Add(1)
+			return
+		case seq < pos:
+			// The consumer has not freed this slot yet: the ring is
+			// full. Drop rather than stall the launch path.
+			r.dropped.Add(1)
+			return
+		default:
+			// Another producer advanced enqueue between our loads;
+			// retry with the fresh position.
+		}
+	}
+}
+
+// Drain moves up to max buffered samples (everything when max <= 0) into
+// a frame laid out by Columns, returning nil when the ring is empty.
+func (r *Recorder) Drain(max int) *dataset.Frame {
+	var frame *dataset.Frame
+	for n := 0; max <= 0 || n < max; n++ {
+		row, ok := r.take()
+		if !ok {
+			break
+		}
+		if frame == nil {
+			frame = dataset.NewFrame(r.columns...)
+		}
+		frame.AddRow(row)
+	}
+	return frame
+}
+
+// take dequeues one row. Drain is called from one uploader goroutine at
+// a time in practice, but take stays correct for concurrent consumers by
+// copying the row out before releasing the slot to producers.
+func (r *Recorder) take() ([]float64, bool) {
+	for {
+		pos := r.dequeue.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos+1:
+			if !r.dequeue.CompareAndSwap(pos, pos+1) {
+				continue
+			}
+			out := append([]float64(nil), s.row...)
+			s.seq.Store(pos + r.mask + 1) // free: producer ticket pos+cap may write
+			return out, true
+		case seq <= pos:
+			return nil, false // empty
+		default:
+		}
+	}
+}
+
+// BatchFormatID identifies the telemetry wire format.
+const BatchFormatID = "apollo-telemetry-v1"
+
+// Batch is the uploader→service wire format: a block of sample rows for
+// one model name, self-describing via its column list and a hash of it.
+// The service validates the hash, checks the columns cover the target
+// model's features, and appends the rows to the model's spool.
+type Batch struct {
+	Format     string      `json:"format"`
+	Model      string      `json:"model"`
+	SchemaHash string      `json:"schema_hash"`
+	Columns    []string    `json:"columns"`
+	Rows       [][]float64 `json:"rows"`
+}
+
+// NewBatch assembles a batch from a drained frame.
+func NewBatch(model string, frame *dataset.Frame) *Batch {
+	cols := frame.Cols()
+	rows := make([][]float64, frame.Len())
+	for i := range rows {
+		rows[i] = frame.Row(i)
+	}
+	return &Batch{
+		Format:     BatchFormatID,
+		Model:      model,
+		SchemaHash: ColumnsHash(cols),
+		Columns:    cols,
+		Rows:       rows,
+	}
+}
+
+// Validate checks the batch's internal consistency: format identifier,
+// schema hash, and row widths.
+func (b *Batch) Validate() error {
+	if b.Format != BatchFormatID {
+		return fmt.Errorf("telemetry: unknown batch format %q (want %q)", b.Format, BatchFormatID)
+	}
+	if b.Model == "" {
+		return fmt.Errorf("telemetry: batch has no model name")
+	}
+	if len(b.Columns) == 0 {
+		return fmt.Errorf("telemetry: batch has no columns")
+	}
+	if got := ColumnsHash(b.Columns); b.SchemaHash != got {
+		return fmt.Errorf("telemetry: batch schema hash %s does not match columns (%s)", b.SchemaHash, got)
+	}
+	for i, row := range b.Rows {
+		if len(row) != len(b.Columns) {
+			return fmt.Errorf("telemetry: row %d has %d values, want %d", i, len(row), len(b.Columns))
+		}
+	}
+	return nil
+}
+
+// Frame converts the batch's rows back into a frame.
+func (b *Batch) Frame() *dataset.Frame {
+	f := dataset.NewFrame(b.Columns...)
+	for _, row := range b.Rows {
+		f.AddRow(row)
+	}
+	return f
+}
+
+// ColumnsHash fingerprints an ordered column list, the telemetry
+// analogue of core.Model.SchemaHash: equal hashes mean rows are laid out
+// identically and can share a spool.
+func ColumnsHash(cols []string) string {
+	h := fnv.New64a()
+	h.Write([]byte(BatchFormatID))
+	for _, c := range cols {
+		h.Write([]byte{0})
+		h.Write([]byte(c))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

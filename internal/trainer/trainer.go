@@ -1,0 +1,334 @@
+// Package trainer closes Apollo's training loop. It tails a telemetry
+// spool, aggregates sampled launch measurements into a sliding window,
+// asks the drift detector whether the deployed champion still matches
+// the machine, and — when it does not — retrains a challenger on the
+// window and publishes it only if it would not regress the fleet:
+// champion and challenger are both scored on a held-out slice of the
+// telemetry by the measured runtime of the variants they pick, and the
+// challenger ships only when its predicted time is within MaxRegression
+// of the champion's. A model service with no champion yet is
+// bootstrapped from the first labelable window.
+package trainer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"apollo/internal/client"
+	"apollo/internal/core"
+	"apollo/internal/dataset"
+	"apollo/internal/drift"
+	"apollo/internal/features"
+	"apollo/internal/registry"
+	"apollo/internal/telemetry"
+)
+
+// Publisher is where champions live: the trainer reads the current one
+// and pushes challengers. Implementations wrap the HTTP client (a
+// trainer daemon beside the service) or a registry directly (in-process
+// tests, single-binary deployments).
+type Publisher interface {
+	// Champion returns the current model and version for name, or
+	// (nil, 0, nil) when none has ever been published.
+	Champion(name string) (*core.Model, int, error)
+	// Publish installs m as the new current version of name.
+	Publish(name string, m *core.Model) (int, error)
+}
+
+// NewClientPublisher publishes through a model-service client.
+func NewClientPublisher(c *client.Client) Publisher { return clientPublisher{c} }
+
+type clientPublisher struct{ c *client.Client }
+
+func (p clientPublisher) Champion(name string) (*core.Model, int, error) {
+	got, err := p.c.Fetch(name)
+	if errors.Is(err, client.ErrNotFound) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return got.Model, got.Version, nil
+}
+
+func (p clientPublisher) Publish(name string, m *core.Model) (int, error) {
+	return p.c.Push(name, m)
+}
+
+// NewRegistryPublisher publishes straight into an in-process registry.
+func NewRegistryPublisher(reg *registry.Registry) Publisher { return registryPublisher{reg} }
+
+type registryPublisher struct{ reg *registry.Registry }
+
+func (p registryPublisher) Champion(name string) (*core.Model, int, error) {
+	e, ok := p.reg.Get(name)
+	if !ok {
+		return nil, 0, nil
+	}
+	return e.Model, e.Version, nil
+}
+
+func (p registryPublisher) Publish(name string, m *core.Model) (int, error) {
+	e, err := p.reg.Publish(name, m)
+	if err != nil {
+		return 0, err
+	}
+	return e.Version, nil
+}
+
+// Config tunes a Trainer; zero values pick defaults.
+type Config struct {
+	// Name is the model's registry name (required).
+	Name string
+	// Param is the tuning parameter to train (default ExecutionPolicy).
+	Param core.Parameter
+	// Schema is the telemetry feature schema (required).
+	Schema *features.Schema
+	// Drift configures the staleness tripwire.
+	Drift drift.Config
+	// MaxWindowRows bounds the telemetry window; the oldest rows fall
+	// off (default 100000).
+	MaxWindowRows int
+	// Holdout is the fraction of labeled vectors held out to score
+	// champion vs challenger (default 0.25, at least 1 vector).
+	Holdout float64
+	// MaxRegression is the tolerated predicted-time regression: the
+	// challenger publishes when challengerNS <= championNS *
+	// (1+MaxRegression) (default 0.02).
+	MaxRegression float64
+	// Seed fixes the holdout split (default 1).
+	Seed uint64
+	// Train is passed through to core.Train.
+	Train core.TrainConfig
+	// Logf receives progress lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxWindowRows <= 0 {
+		c.MaxWindowRows = 100000
+	}
+	if c.Holdout <= 0 || c.Holdout >= 1 {
+		c.Holdout = 0.25
+	}
+	if c.MaxRegression <= 0 {
+		c.MaxRegression = 0.02
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Result reports what one Step did.
+type Result struct {
+	// NewRows is how many spool rows the step ingested.
+	NewRows int
+	// WindowRows is the telemetry window size after ingestion.
+	WindowRows int
+	// Trigger is the drift decision that caused a retrain (nil when the
+	// champion still matches the telemetry).
+	Trigger *drift.Trigger
+	// Retrained reports that a challenger was trained this step.
+	Retrained bool
+	// Published reports that the challenger (or bootstrap model) was
+	// installed; Version is its registry version.
+	Published bool
+	Version   int
+	// ChampionNS and ChallengerNS are the holdout predicted times that
+	// decided a champion/challenger duel (0 when no duel ran).
+	ChampionNS   float64
+	ChallengerNS float64
+}
+
+// Trainer drives the retrain loop for one model.
+type Trainer struct {
+	cfg    Config
+	cursor *telemetry.Cursor
+	pub    Publisher
+	det    *drift.Detector
+	window *dataset.Frame
+
+	steps     atomic.Uint64
+	triggers  atomic.Uint64
+	retrains  atomic.Uint64
+	publishes atomic.Uint64
+	rejects   atomic.Uint64
+}
+
+// New returns a trainer tailing cursor and publishing through pub.
+func New(cursor *telemetry.Cursor, pub Publisher, cfg Config) (*Trainer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("trainer: Config.Name is required")
+	}
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("trainer: Config.Schema is required")
+	}
+	return &Trainer{
+		cfg:    cfg,
+		cursor: cursor,
+		pub:    pub,
+		det:    drift.NewDetector(cfg.Drift),
+	}, nil
+}
+
+// Steps, Triggers, Retrains, Publishes, Rejects expose loop counters
+// for the daemon's metrics endpoint.
+func (t *Trainer) Steps() uint64     { return t.steps.Load() }
+func (t *Trainer) Triggers() uint64  { return t.triggers.Load() }
+func (t *Trainer) Retrains() uint64  { return t.retrains.Load() }
+func (t *Trainer) Publishes() uint64 { return t.publishes.Load() }
+func (t *Trainer) Rejects() uint64   { return t.rejects.Load() }
+
+// Step runs one poll-check-retrain cycle. It never blocks on the spool:
+// no new rows (or a window too thin to label) is a clean no-op result.
+func (t *Trainer) Step() (*Result, error) {
+	t.steps.Add(1)
+	fresh, err := t.cursor.Poll()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if fresh != nil {
+		res.NewRows = fresh.Len()
+		if t.window == nil {
+			t.window = fresh
+		} else {
+			t.window.Append(fresh)
+		}
+		if over := t.window.Len() - t.cfg.MaxWindowRows; over > 0 {
+			idx := make([]int, t.cfg.MaxWindowRows)
+			for i := range idx {
+				idx[i] = over + i
+			}
+			t.window = t.window.SelectRows(idx)
+		}
+	}
+	if t.window == nil {
+		return res, nil
+	}
+	res.WindowRows = t.window.Len()
+	if res.NewRows == 0 {
+		return res, nil
+	}
+
+	set, err := core.Label(t.window, t.cfg.Schema, t.cfg.Param)
+	if err != nil {
+		// Telemetry without counterfactuals (no vector observed under
+		// two variants yet) cannot be labeled; keep accumulating.
+		t.cfg.Logf("trainer: window not labelable yet: %v", err)
+		return res, nil
+	}
+
+	champion, _, err := t.pub.Champion(t.cfg.Name)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: reading champion %s: %w", t.cfg.Name, err)
+	}
+	if champion == nil {
+		// Bootstrap: no champion to defend, ship the first model.
+		m, err := core.Train(set, t.cfg.Train)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: bootstrap train: %w", err)
+		}
+		t.retrains.Add(1)
+		v, err := t.pub.Publish(t.cfg.Name, m)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: bootstrap publish: %w", err)
+		}
+		t.publishes.Add(1)
+		t.det.SetBaseline(drift.SnapshotSet(set))
+		res.Retrained, res.Published, res.Version = true, true, v
+		t.cfg.Logf("trainer: bootstrapped %s v%d from %d vectors", t.cfg.Name, v, set.Len())
+		return res, nil
+	}
+
+	trig := t.det.Check(champion, set)
+	if trig == nil {
+		return res, nil
+	}
+	t.triggers.Add(1)
+	res.Trigger = trig
+	t.cfg.Logf("trainer: %s: %s", t.cfg.Name, trig)
+
+	trainSet, holdout := split(set, t.cfg.Holdout, t.cfg.Seed)
+	challenger, err := core.Train(trainSet, t.cfg.Train)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: retrain: %w", err)
+	}
+	t.retrains.Add(1)
+	res.Retrained = true
+	res.ChampionNS = drift.PredictedTimeNS(champion, holdout)
+	res.ChallengerNS = drift.PredictedTimeNS(challenger, holdout)
+	if res.ChallengerNS > res.ChampionNS*(1+t.cfg.MaxRegression) {
+		t.rejects.Add(1)
+		t.cfg.Logf("trainer: %s: challenger rejected (%.0fns vs champion %.0fns on %d holdout vectors)",
+			t.cfg.Name, res.ChallengerNS, res.ChampionNS, holdout.Len())
+		return res, nil
+	}
+	v, err := t.pub.Publish(t.cfg.Name, challenger)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: publish: %w", err)
+	}
+	t.publishes.Add(1)
+	t.det.SetBaseline(drift.SnapshotSet(set))
+	res.Published, res.Version = true, v
+	t.cfg.Logf("trainer: published %s v%d (%.0fns vs champion %.0fns on %d holdout vectors)",
+		t.cfg.Name, v, res.ChallengerNS, res.ChampionNS, holdout.Len())
+	return res, nil
+}
+
+// Run steps every interval until ctx is done, reporting step errors to
+// Logf (one bad poll must not kill the daemon).
+func (t *Trainer) Run(ctx context.Context, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if _, err := t.Step(); err != nil {
+				t.cfg.Logf("trainer: step: %v", err)
+			}
+		}
+	}
+}
+
+// split partitions a labeled set into train and holdout slices by a
+// seeded shuffle. Both sides keep at least one vector; a set too small
+// to split is used whole on both sides (in-sample scoring beats a
+// single-vector holdout).
+func split(set *core.LabeledSet, holdout float64, seed uint64) (train, eval *core.LabeledSet) {
+	n := set.Len()
+	if n < 4 {
+		return set, set
+	}
+	h := int(float64(n) * holdout)
+	if h < 1 {
+		h = 1
+	}
+	if h >= n {
+		h = n - 1
+	}
+	perm := dataset.NewRNG(seed).Perm(n)
+	return subset(set, perm[h:]), subset(set, perm[:h])
+}
+
+// subset selects labeled vectors by index.
+func subset(set *core.LabeledSet, idx []int) *core.LabeledSet {
+	out := &core.LabeledSet{Schema: set.Schema, Param: set.Param}
+	for _, i := range idx {
+		out.X = append(out.X, set.X[i])
+		out.Y = append(out.Y, set.Y[i])
+		out.MeanTimes = append(out.MeanTimes, set.MeanTimes[i])
+		out.Weights = append(out.Weights, set.Weights[i])
+	}
+	return out
+}

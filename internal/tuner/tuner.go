@@ -23,6 +23,7 @@ import (
 	"apollo/internal/dataset"
 	"apollo/internal/features"
 	"apollo/internal/raja"
+	"apollo/internal/telemetry"
 )
 
 // Recorder captures one training sample per kernel execution.
@@ -154,6 +155,20 @@ type Tuner struct {
 	instMu sync.Mutex // serializes model installs, not launches
 
 	decisions atomic.Uint64
+
+	// telem, when set, receives a sampled (features, params, elapsed)
+	// measurement from End — the capture side of the closed training
+	// loop. Nil keeps End a two-instruction no-op.
+	telem atomic.Pointer[telemetry.Recorder]
+
+	// exploreEvery > 0 flips the predicted execution policy on every
+	// exploreEvery-th launch, so telemetry contains counterfactual
+	// observations (how fast would the other variant have been?) that
+	// let the continuous trainer relabel vectors the deployed model
+	// gets wrong. 0 disables exploration.
+	exploreEvery atomic.Uint64
+	exploreSeq   atomic.Uint64
+	explored     atomic.Uint64
 }
 
 // sourceBox makes the ModelSource interface value atomically swappable.
@@ -225,11 +240,50 @@ func (t *Tuner) Begin(k *raja.Kernel, iset *raja.IndexSet) (raja.Params, bool) {
 			params.Chunk = raja.ChunkSizes[class]
 		}
 	}
+	if every := t.exploreEvery.Load(); every > 0 && t.exploreSeq.Add(1)%every == 0 {
+		params.Policy = flipPolicy(params.Policy)
+		t.explored.Add(1)
+	}
 	return params, true
 }
 
-// End is a no-op for the tuner.
-func (t *Tuner) End(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, elapsedNS float64) {}
+// flipPolicy returns the other execution policy — the exploration move.
+func flipPolicy(p raja.Policy) raja.Policy {
+	if p == raja.SeqExec {
+		return raja.OmpParallelForExec
+	}
+	return raja.SeqExec
+}
+
+// End feeds the launch measurement to the attached telemetry recorder.
+// With no recorder (or on the recorder's unsampled path) it performs a
+// couple of atomic operations and allocates nothing — End runs inside
+// every kernel launch, so this path must stay effectively free.
+func (t *Tuner) End(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, elapsedNS float64) {
+	if rec := t.telem.Load(); rec != nil {
+		rec.Record(k, iset, p, elapsedNS)
+	}
+}
+
+// UseTelemetry attaches (or, with nil, detaches) a telemetry recorder;
+// End starts feeding it immediately, with no pause in launches.
+func (t *Tuner) UseTelemetry(rec *telemetry.Recorder) *Tuner {
+	t.telem.Store(rec)
+	return t
+}
+
+// ExploreEvery makes every n-th launch execute the opposite execution
+// policy from the model's pick (0 disables). A small exploration rate is
+// what gives the telemetry stream observations of both variants per
+// feature vector — without it the closed loop could never learn that the
+// deployed model's choice has become the slower one.
+func (t *Tuner) ExploreEvery(n uint64) *Tuner {
+	t.exploreEvery.Store(n)
+	return t
+}
+
+// Explored returns how many launches ran an exploration variant.
+func (t *Tuner) Explored() uint64 { return t.explored.Load() }
 
 // Decisions returns how many launches the tuner has parameterized.
 func (t *Tuner) Decisions() uint64 { return t.decisions.Load() }

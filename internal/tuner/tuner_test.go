@@ -12,6 +12,7 @@ import (
 	"apollo/internal/instmix"
 	"apollo/internal/platform"
 	"apollo/internal/raja"
+	"apollo/internal/telemetry"
 )
 
 func simContext(hooks raja.Hooks, def raja.Params) *raja.Context {
@@ -341,5 +342,154 @@ func TestSnapshotWhileRecordingRaceFree(t *testing.T) {
 	wg.Wait()
 	if rec.Samples() != 500 {
 		t.Errorf("recorded %d samples, want 500", rec.Samples())
+	}
+}
+
+func TestTunerEndFeedsTelemetry(t *testing.T) {
+	schema := features.TableI()
+	ann := caliper.New()
+	tn := NewTuner(schema, ann, raja.Params{Policy: raja.SeqExec})
+	rec := telemetry.NewRecorder(schema, ann, telemetry.Options{})
+	tn.UseTelemetry(rec)
+
+	ctx := simContext(tn, raja.Params{})
+	k := raja.NewKernel("telemetered", nil)
+	raja.ForAll(ctx, k, raja.NewRange(0, 64), func(int) {})
+
+	frame := rec.Drain(0)
+	if frame == nil || frame.Len() != 1 {
+		t.Fatalf("telemetry frame = %v, want 1 row", frame)
+	}
+	if got := frame.At(0, features.NumIndices); got != 64 {
+		t.Errorf("num_indices = %g, want 64", got)
+	}
+	if got := frame.At(0, core.ColPolicy); got != float64(raja.SeqExec) {
+		t.Errorf("policy = %g, want executed policy", got)
+	}
+	if frame.At(0, core.ColTimeNS) <= 0 {
+		t.Error("elapsed time not captured")
+	}
+
+	// Detaching stops the feed without stopping launches.
+	tn.UseTelemetry(nil)
+	raja.ForAll(ctx, k, raja.NewRange(0, 64), func(int) {})
+	if rec.Seen() != 1 {
+		t.Errorf("detached recorder saw %d launches, want 1", rec.Seen())
+	}
+}
+
+func TestTunerExploreEveryFlipsPolicy(t *testing.T) {
+	schema := features.TableI()
+	model := trainPolicyModel(t, schema)
+	tn := NewTuner(schema, caliper.New(), raja.Params{}).UsePolicyModel(model)
+	tn.ExploreEvery(4)
+
+	k := raja.NewKernel("explore", nil)
+	small := raja.NewRange(0, 50) // model picks seq
+	var seq, omp int
+	for i := 0; i < 16; i++ {
+		p, _ := tn.Begin(k, small)
+		if p.Policy == raja.SeqExec {
+			seq++
+		} else {
+			omp++
+		}
+	}
+	if omp != 4 || seq != 12 {
+		t.Errorf("explored %d omp / %d seq, want 4/12", omp, seq)
+	}
+	if tn.Explored() != 4 {
+		t.Errorf("Explored() = %d, want 4", tn.Explored())
+	}
+	tn.ExploreEvery(0)
+	for i := 0; i < 8; i++ {
+		if p, _ := tn.Begin(k, small); p.Policy != raja.SeqExec {
+			t.Fatal("exploration still active after disable")
+		}
+	}
+}
+
+// TestTunerEndUnsampledZeroAlloc is the acceptance criterion for the
+// telemetry fast path: an unsampled End must allocate nothing.
+func TestTunerEndUnsampledZeroAlloc(t *testing.T) {
+	schema := features.TableI()
+	ann := caliper.New()
+	tn := NewTuner(schema, ann, raja.Params{})
+	k := raja.NewKernel("alloc", nil)
+	iset := raja.NewRange(0, 100)
+	p := raja.Params{Policy: raja.OmpParallelForExec}
+
+	// No recorder attached.
+	if allocs := testing.AllocsPerRun(1000, func() { tn.End(k, iset, p, 100) }); allocs != 0 {
+		t.Errorf("End with no recorder: %v allocs/run, want 0", allocs)
+	}
+
+	// Recorder attached, but this launch is unsampled (1 in 1<<62).
+	rec := telemetry.NewRecorder(schema, ann, telemetry.Options{SampleEvery: 1 << 62})
+	tn.UseTelemetry(rec)
+	if allocs := testing.AllocsPerRun(1000, func() { tn.End(k, iset, p, 100) }); allocs != 0 {
+		t.Errorf("unsampled End: %v allocs/run, want 0", allocs)
+	}
+
+	// The sampled path itself must not allocate either: features are
+	// extracted straight into the preallocated ring slot.
+	rec2 := telemetry.NewRecorder(schema, ann, telemetry.Options{SampleEvery: 1, Capacity: 1 << 12})
+	tn.UseTelemetry(rec2)
+	if allocs := testing.AllocsPerRun(1000, func() { tn.End(k, iset, p, 100) }); allocs != 0 {
+		t.Errorf("sampled End: %v allocs/run, want 0", allocs)
+	}
+}
+
+// BenchmarkTunerEndUnsampled measures the per-launch cost of the
+// telemetry hook when the launch is not sampled — the price every
+// production launch pays once telemetry is on (EXPERIMENTS.md).
+func BenchmarkTunerEndUnsampled(b *testing.B) {
+	schema := features.TableI()
+	ann := caliper.New()
+	tn := NewTuner(schema, ann, raja.Params{})
+	rec := telemetry.NewRecorder(schema, ann, telemetry.Options{SampleEvery: 1 << 62})
+	tn.UseTelemetry(rec)
+	k := raja.NewKernel("bench", nil)
+	iset := raja.NewRange(0, 100)
+	p := raja.Params{Policy: raja.OmpParallelForExec}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn.End(k, iset, p, 100)
+	}
+}
+
+// BenchmarkTunerEndSampled measures the full capture cost when every
+// launch is sampled: extract into the ring slot and publish.
+func BenchmarkTunerEndSampled(b *testing.B) {
+	schema := features.TableI()
+	ann := caliper.New()
+	tn := NewTuner(schema, ann, raja.Params{})
+	rec := telemetry.NewRecorder(schema, ann, telemetry.Options{SampleEvery: 1, Capacity: 1 << 16})
+	tn.UseTelemetry(rec)
+	k := raja.NewKernel("bench", nil)
+	iset := raja.NewRange(0, 100)
+	p := raja.Params{Policy: raja.OmpParallelForExec}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 {
+			rec.Drain(0) // keep the ring from filling
+		}
+		tn.End(k, iset, p, 100)
+	}
+}
+
+// BenchmarkTunerEndNoTelemetry is the baseline: End before this PR.
+func BenchmarkTunerEndNoTelemetry(b *testing.B) {
+	schema := features.TableI()
+	tn := NewTuner(schema, caliper.New(), raja.Params{})
+	k := raja.NewKernel("bench", nil)
+	iset := raja.NewRange(0, 100)
+	p := raja.Params{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn.End(k, iset, p, 100)
 	}
 }
