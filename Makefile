@@ -2,13 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build test race bench results quick-results cover clean serve-smoke loop-smoke
+.PHONY: all build lint test race bench results quick-results cover clean serve-smoke loop-smoke
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# apollo-vet enforces the hot-path invariants (no-alloc, lock-free,
+# 386 atomic alignment, schema-hash drift) over the whole module, and
+# the 386 cross-build keeps the alignment analyzer honest against the
+# real compiler.
+lint:
+	$(GO) run ./cmd/apollo-vet ./...
+	GOARCH=386 $(GO) build ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,208 @@
+// Package analysis is apollo-vet's engine: a from-scratch static-analysis
+// driver built directly on the standard library's go/parser and go/types
+// (this module is intentionally dependency-free, so the package loader,
+// type-checker wiring, diagnostic model, and analyzers are all local —
+// no golang.org/x/tools).
+//
+// The analyzers enforce the runtime invariants Apollo's serving stack is
+// built on, turning what used to be prose comments ("lock-free",
+// "allocates nothing") into machine-checked annotations:
+//
+//   - hotpath: functions annotated //apollo:hotpath — and their
+//     transitive callees inside the module, through the type-checked
+//     call graph including method values and interface dispatch where a
+//     module-local concrete type is known — must not allocate, lock,
+//     touch channels, or call time.Now / fmt.* / log.* / any
+//     //apollo:blocking function;
+//   - atomicalign: struct fields passed to 64-bit sync/atomic operations
+//     must be 64-bit aligned under 32-bit (GOARCH=386/arm) layout rules;
+//   - lockscope: no file/network I/O, channel operation, or
+//     //apollo:blocking call while a sync.Mutex/RWMutex is held;
+//   - schemahash: feature-name lists referenced by an
+//     //apollo:schemahash directive must hash to the golden constant the
+//     directive annotates, so silently reordering the feature schema is
+//     a vet-time error instead of a serving-time mispredict.
+//
+// Annotation contract (all are line comments, no space after //):
+//
+//	//apollo:hotpath                   function is a launch hot path root
+//	//apollo:blocking                  function may block (banned from hot
+//	                                   paths and from held-lock regions)
+//	//apollo:coldpath <reason>         rare/amortized path: hotpath
+//	                                   traversal stops here; reason required
+//	//apollo:allocok <reason>          suppress one hotpath allocation
+//	                                   finding on this line; reason required
+//	//apollo:lockok <reason>           suppress lockscope findings for this
+//	                                   function or statement; reason required
+//	//apollo:schemahash <list> ...     golden schema fingerprint constant;
+//	                                   args name the feature lists hashed
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// a message, and (for hotpath findings) the call chain from the
+// annotated root to the violating function.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Chain is the call path root -> ... -> violating function, each
+	// entry a printable function name. Empty for non-hotpath findings.
+	Chain []string
+}
+
+// String renders the diagnostic in the classic file:line:col form.
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	if len(d.Chain) > 1 {
+		s += fmt.Sprintf("\n\tcall chain: %s", strings.Join(d.Chain, " -> "))
+	}
+	return s
+}
+
+// Analyzer is one named pass over a loaded program.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program) []Diagnostic
+}
+
+// All returns the full apollo-vet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{HotPath, AtomicAlign, LockScope, SchemaHash}
+}
+
+// ByName returns the analyzers with the given comma-separated names.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, want := range strings.Split(names, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == want {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", want)
+		}
+	}
+	return out, nil
+}
+
+// RunAll runs the analyzers in parallel over the program and returns the
+// combined diagnostics sorted by position.
+func RunAll(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	results := make([][]Diagnostic, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			results[i] = a.Run(prog)
+		}(i, a)
+	}
+	wg.Wait()
+	var all []Diagnostic
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return all
+}
+
+// Directive names (the text after "//apollo:").
+const (
+	dirHotPath    = "hotpath"
+	dirBlocking   = "blocking"
+	dirColdPath   = "coldpath"
+	dirAllocOK    = "allocok"
+	dirLockOK     = "lockok"
+	dirSchemaHash = "schemahash"
+)
+
+// directive is one parsed //apollo:* comment.
+type directive struct {
+	name string // "hotpath", "blocking", ...
+	args string // trailing text after the name (reason / arguments)
+	pos  token.Pos
+}
+
+// parseDirectives extracts //apollo:* directives from a comment group.
+func parseDirectives(groups ...*ast.CommentGroup) []directive {
+	var out []directive
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text, ok := strings.CutPrefix(c.Text, "//apollo:")
+			if !ok {
+				continue
+			}
+			name, args, _ := strings.Cut(text, " ")
+			out = append(out, directive{name: name, args: strings.TrimSpace(args), pos: c.Slash})
+		}
+	}
+	return out
+}
+
+// funcDirective reports whether fn's doc comment carries the named
+// directive, returning its arguments.
+func funcDirective(fn *ast.FuncDecl, name string) (string, bool) {
+	for _, d := range parseDirectives(fn.Doc) {
+		if d.name == name {
+			return d.args, true
+		}
+	}
+	return "", false
+}
+
+// lineDirectives indexes every //apollo:* directive in a file by the
+// line it appears on, for statement-level exemptions (allocok, lockok).
+func lineDirectives(fset *token.FileSet, file *ast.File) map[int][]directive {
+	out := map[int][]directive{}
+	for _, g := range file.Comments {
+		for _, d := range parseDirectives(g) {
+			line := fset.Position(d.pos).Line
+			out[line] = append(out[line], d)
+		}
+	}
+	return out
+}
+
+// hasLineDirective reports whether the line of pos carries the named
+// directive with a non-empty reason.
+func hasLineDirective(lines map[int][]directive, fset *token.FileSet, pos token.Pos, name string) bool {
+	for _, d := range lines[fset.Position(pos).Line] {
+		if d.name == name && d.args != "" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicAlign checks that every struct field whose address is passed to
+// a 64-bit sync/atomic operation sits at a 64-bit-aligned offset under
+// 32-bit (GOARCH=386/arm) struct layout, where the compiler only
+// guarantees 4-byte alignment for uint64 fields. It also flags 64-bit
+// atomic fields reached through slice or array elements whose element
+// size is not a multiple of 8, since every odd element is then
+// misaligned. The modern atomic.Int64/Uint64 types self-align and need
+// no check; this analyzer covers the raw-field escape hatch.
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "64-bit sync/atomic operands must be 64-bit aligned on 32-bit targets",
+	Run:  runAtomicAlign,
+}
+
+// sizes32 models gc struct layout on GOARCH=386: 4-byte words, maximum
+// alignment 4 (the layout under which misalignment bites).
+var sizes32 = &types.StdSizes{WordSize: 4, MaxAlign: 4}
+
+// atomic64Funcs are the sync/atomic entry points taking a *int64/*uint64.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+func runAtomicAlign(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if !isAtomic64Call(pkg, call) {
+					return true
+				}
+				diags = append(diags, checkAtomicOperand(prog, pkg, call)...)
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// isAtomic64Call reports whether the call targets a 64-bit sync/atomic
+// function.
+func isAtomic64Call(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return atomic64Funcs[obj.Name()]
+}
+
+// checkAtomicOperand analyzes the &x.f operand of a 64-bit atomic call.
+func checkAtomicOperand(prog *Program, pkg *Package, call *ast.CallExpr) []Diagnostic {
+	addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return nil
+	}
+	target := ast.Unparen(addr.X)
+	off, elem, known := operandOffset(pkg, target)
+	if !known {
+		return nil
+	}
+	var diags []Diagnostic
+	pos := prog.Fset.Position(addr.Pos())
+	if off%8 != 0 {
+		diags = append(diags, Diagnostic{
+			Pos:      pos,
+			Analyzer: "atomicalign",
+			Message: fmt.Sprintf("64-bit atomic operand is at offset %d under GOARCH=386 layout, not 64-bit aligned; "+
+				"move the field first or use atomic.Int64/Uint64", off),
+		})
+	}
+	if elem != nil {
+		if es := sizes32.Sizeof(elem); es%8 != 0 {
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Analyzer: "atomicalign",
+				Message: fmt.Sprintf("64-bit atomic field reached through a %s element of size %d under GOARCH=386; "+
+					"element size must be a multiple of 8 or the field must use atomic.Int64/Uint64",
+					types.TypeString(elem, shortQualifier), es),
+			})
+		}
+	}
+	return diags
+}
+
+// operandOffset computes the byte offset of an lvalue chain (x.a.b,
+// x[i].f, ...) within its containing allocation under 386 layout.
+// Pointer derefs reset the offset (an allocation start is 64-bit
+// aligned by the runtime). The second result is the element type when
+// the chain passes through a slice/array index. known is false when the
+// expression is not a field chain (a plain variable, a call result).
+func operandOffset(pkg *Package, e ast.Expr) (off int64, sliceElem types.Type, known bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		sel, ok := pkg.Info.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return 0, nil, false
+		}
+		baseOff := int64(0)
+		var elem types.Type
+		// An explicit pointer base (p.f with p a pointer) derefs: the
+		// pointee is a fresh allocation, offset restarts at 0.
+		if baseT := exprType(pkg.Info, e.X); baseT != nil {
+			if _, isPtr := baseT.Underlying().(*types.Pointer); !isPtr {
+				baseOff, elem, _ = operandOffset(pkg, e.X)
+			}
+		}
+		selOff, reset := offsetThrough(sel.Recv(), sel.Index())
+		if reset {
+			return selOff, nil, true
+		}
+		return baseOff + selOff, elem, true
+	case *ast.IndexExpr:
+		t := exprType(pkg.Info, e.X)
+		if t == nil {
+			return 0, nil, false
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			return 0, u.Elem(), true
+		case *types.Array:
+			return 0, u.Elem(), true
+		}
+		return 0, nil, false
+	case *ast.StarExpr:
+		return 0, nil, true // deref: fresh allocation start
+	case *ast.Ident:
+		return 0, nil, true // variable: allocation (or package data) start
+	}
+	return 0, nil, false
+}
+
+// offsetThrough accumulates field offsets along a selection index path,
+// resetting (reset=true) when the path crosses an embedded pointer.
+func offsetThrough(recv types.Type, index []int) (off int64, reset bool) {
+	t := recv
+	for _, i := range index {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			off = 0
+			reset = true
+		}
+		s, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return off, reset
+		}
+		fields := make([]*types.Var, s.NumFields())
+		for j := 0; j < s.NumFields(); j++ {
+			fields[j] = s.Field(j)
+		}
+		offsets := sizes32.Offsetsof(fields)
+		off += offsets[i]
+		t = s.Field(i).Type()
+	}
+	return off, reset
+}

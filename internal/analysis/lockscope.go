@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockScope flags blocking work performed while a sync.Mutex or
+// sync.RWMutex is held: file/network I/O, channel operations, time.Sleep,
+// and calls to //apollo:blocking functions — directly or through
+// module-internal callees (a transitive may-block summary is computed
+// per function). Lock regions are tracked lexically between x.Lock()
+// (or x.RLock()) and the matching x.Unlock() in the same block; a
+// deliberate design choice (e.g. persisting under a publish mutex) is
+// waived with //apollo:lockok <reason> on the function or statement.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no blocking work while a mutex is held",
+	Run:  runLockScope,
+}
+
+func runLockScope(prog *Program) []Diagnostic {
+	g := buildGraph(prog)
+	s := &lockScanner{g: g, summaries: map[*types.Func]*blockFact{}, visiting: map[*types.Func]bool{}}
+	var fis []*funcInfo
+	for _, fi := range g.funcs {
+		fis = append(fis, fi)
+	}
+	sort.Slice(fis, func(i, j int) bool { return fis[i].decl.Pos() < fis[j].decl.Pos() })
+	for _, fi := range fis {
+		if fi.lockOK || fi.decl.Body == nil {
+			continue
+		}
+		s.scanFunc(fi)
+	}
+	return s.diags
+}
+
+// blockFact explains why a function may block: the root reason and the
+// module call path that reaches it.
+type blockFact struct {
+	why  string
+	path []string
+}
+
+type lockScanner struct {
+	g         *graph
+	summaries map[*types.Func]*blockFact
+	visiting  map[*types.Func]bool
+	diags     []Diagnostic
+}
+
+// scanFunc walks one function's statement blocks tracking held locks.
+func (s *lockScanner) scanFunc(fi *funcInfo) {
+	lines := lineDirectives(s.g.prog.Fset, fi.file)
+	bindings := methodBindings(fi.pkg, fi.decl.Body)
+	s.scanStmts(fi, fi.decl.Body.List, map[string]bool{}, lines, bindings)
+}
+
+// scanStmts processes a statement sequence in order, maintaining the set
+// of held lock expressions and checking every statement executed while a
+// lock is held.
+func (s *lockScanner) scanStmts(fi *funcInfo, stmts []ast.Stmt, held map[string]bool,
+	lines map[int][]directive, bindings map[types.Object]*types.Func) {
+	fset := s.g.prog.Fset
+	for _, stmt := range stmts {
+		if recv, op, ok := lockOp(fi.pkg, stmt); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[recv] = true
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+			}
+			continue
+		}
+		if d, ok := stmt.(*ast.DeferStmt); ok {
+			// defer x.Unlock() keeps the lock held to the end of the
+			// lexical region; any other defer is checked like a call if
+			// a lock is held.
+			if recv, op, ok := deferLockOp(fi.pkg, d); ok && (op == "Unlock" || op == "RUnlock") {
+				_ = recv
+				continue
+			}
+		}
+		if len(held) > 0 {
+			if !hasLineDirective(lines, fset, stmt.Pos(), dirLockOK) {
+				s.checkHeld(fi, stmt, held, lines, bindings)
+			}
+			continue
+		}
+		// Not holding a lock: descend into nested blocks (and function
+		// literals) to find lock regions there.
+		for _, body := range childBlocks(stmt) {
+			s.scanStmts(fi, body, map[string]bool{}, lines, bindings)
+		}
+	}
+}
+
+// checkHeld inspects one statement executed under held locks, skipping
+// nested function literals (they run later, not under this lock).
+func (s *lockScanner) checkHeld(fi *funcInfo, stmt ast.Stmt, held map[string]bool,
+	lines map[int][]directive, bindings map[types.Object]*types.Func) {
+	fset := s.g.prog.Fset
+	heldNames := make([]string, 0, len(held))
+	for h := range held {
+		heldNames = append(heldNames, h)
+	}
+	sort.Strings(heldNames)
+	heldDesc := strings.Join(heldNames, ", ")
+
+	report := func(pos token.Pos, msg string, chain []string) {
+		if hasLineDirective(lines, fset, pos, dirLockOK) {
+			return
+		}
+		s.diags = append(s.diags, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: "lockscope",
+			Message:  fmt.Sprintf("%s while %s is held", msg, heldDesc),
+			Chain:    chain,
+		})
+	}
+
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			report(n.Pos(), "channel send", nil)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n.Pos(), "channel receive", nil)
+			}
+		case *ast.SelectStmt:
+			report(n.Pos(), "select statement", nil)
+		case *ast.CallExpr:
+			callees, ext := s.g.resolve(fi.pkg, bindings, n)
+			if ext != nil {
+				if why := blockingExternal(ext); why != "" {
+					report(n.Pos(), why, nil)
+				}
+				return true
+			}
+			for _, c := range callees {
+				if c.fn.blocking {
+					report(n.Pos(), "call to //apollo:blocking "+displayName(c.fn.obj), nil)
+					continue
+				}
+				if fact := s.summary(c.fn); fact != nil {
+					chain := append([]string{displayName(fi.obj)}, fact.path...)
+					report(n.Pos(), fact.why+" (via "+displayName(c.fn.obj)+")", chain)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// summary reports whether a module function may block, transitively
+// through its module-internal callees. Recursion cycles resolve to
+// non-blocking; interface dispatch and dynamic function values are not
+// followed.
+func (s *lockScanner) summary(fi *funcInfo) *blockFact {
+	if fact, ok := s.summaries[fi.obj]; ok {
+		return fact
+	}
+	if s.visiting[fi.obj] {
+		return nil
+	}
+	s.visiting[fi.obj] = true
+	defer delete(s.visiting, fi.obj)
+
+	var fact *blockFact
+	if fi.blocking {
+		fact = &blockFact{why: "call to //apollo:blocking " + displayName(fi.obj), path: []string{displayName(fi.obj)}}
+	} else if fi.decl.Body != nil {
+		bindings := methodBindings(fi.pkg, fi.decl.Body)
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			if fact != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SendStmt:
+				fact = &blockFact{why: "channel send", path: []string{displayName(fi.obj)}}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					fact = &blockFact{why: "channel receive", path: []string{displayName(fi.obj)}}
+				}
+			case *ast.SelectStmt:
+				fact = &blockFact{why: "select statement", path: []string{displayName(fi.obj)}}
+			case *ast.CallExpr:
+				callees, ext := s.g.resolve(fi.pkg, bindings, n)
+				if ext != nil {
+					if why := blockingExternal(ext); why != "" {
+						fact = &blockFact{why: why, path: []string{displayName(fi.obj)}}
+					}
+					return true
+				}
+				for _, c := range callees {
+					if c.viaInterface != "" {
+						continue
+					}
+					if sub := s.summary(c.fn); sub != nil {
+						fact = &blockFact{why: sub.why, path: append([]string{displayName(fi.obj)}, sub.path...)}
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	s.summaries[fi.obj] = fact
+	return fact
+}
+
+// blockingExternal classifies out-of-module calls that block or perform
+// I/O, returning "" for benign calls.
+func blockingExternal(obj *types.Func) string {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	name := obj.Name()
+	switch pkg.Path() {
+	case "os", "net", "net/http", "io/fs", "os/exec", "database/sql", "syscall":
+		return "file/network I/O " + pkg.Path() + "." + name
+	case "io", "io/ioutil":
+		switch name {
+		case "ReadAll", "Copy", "CopyN", "CopyBuffer", "ReadFile", "WriteFile":
+			return "I/O call " + pkg.Path() + "." + name
+		}
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "fmt":
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Fscan") {
+			return "stream write fmt." + name
+		}
+	case "log", "log/slog":
+		return "log write " + pkg.Path() + "." + name
+	case "sync":
+		switch receiverBaseName(obj) + "." + name {
+		case "WaitGroup.Wait", "Cond.Wait":
+			return "blocks on sync." + receiverBaseName(obj) + "." + name
+		}
+	}
+	return ""
+}
+
+// lockOp matches a statement of the form x.Lock() / x.RLock() /
+// x.Unlock() / x.RUnlock() on a sync mutex, returning the rendered
+// receiver expression and the operation.
+func lockOp(pkg *Package, stmt ast.Stmt) (recv, op string, ok bool) {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	return lockCall(pkg, es.X)
+}
+
+// deferLockOp matches defer x.Unlock().
+func deferLockOp(pkg *Package, d *ast.DeferStmt) (recv, op string, ok bool) {
+	return lockCall(pkg, d.Call)
+}
+
+func lockCall(pkg *Package, e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj, isFunc := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFunc || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	base := receiverBaseName(obj)
+	if base != "Mutex" && base != "RWMutex" {
+		return "", "", false
+	}
+	switch obj.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), obj.Name(), true
+	}
+	return "", "", false
+}
+
+// childBlocks returns the statement lists nested directly inside a
+// statement (if/for/switch/select bodies, blocks, function literals).
+func childBlocks(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, st.List)
+	case *ast.IfStmt:
+		out = append(out, st.Body.List)
+		if st.Else != nil {
+			out = append(out, childBlocks(st.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, st.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, st.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, childBlocks(st.Stmt)...)
+	case *ast.ExprStmt:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, lit.Body.List)
+				return false
+			}
+			return true
+		})
+	case *ast.AssignStmt, *ast.GoStmt, *ast.DeferStmt, *ast.ReturnStmt:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, lit.Body.List)
+				return false
+			}
+			return true
+		})
+	}
+	return out
+}

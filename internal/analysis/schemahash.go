@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// SchemaHash verifies golden feature-schema fingerprints. A constant
+// annotated
+//
+//	//apollo:schemahash <pkgpath>.<Name> [<pkgpath>.<Name> ...]
+//
+// must equal the FNV-1a-64 hash of the named feature lists concatenated
+// in directive order. Each reference resolves through the AST to either
+// a function returning a []string literal of string constants or a
+// (possibly keyed) array/slice variable of string constants, so renaming
+// or reordering a feature — which would silently shift every model's
+// vector layout — fails vet until the golden constant is deliberately
+// bumped alongside a model-format version change.
+var SchemaHash = &Analyzer{
+	Name: "schemahash",
+	Doc:  "feature schema lists must hash to their golden constants",
+	Run:  runSchemaHash,
+}
+
+// schemaHashSeed prefixes every fingerprint so schema hashes can never
+// collide with other FNV uses in the codebase.
+const schemaHashSeed = "apollo-schema-v1"
+
+func runSchemaHash(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, d := range parseDirectives(gd.Doc, vs.Doc, vs.Comment) {
+						if d.name != dirSchemaHash {
+							continue
+						}
+						diags = append(diags, checkSchemaConst(prog, pkg, vs, d)...)
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// checkSchemaConst verifies one annotated golden constant against the
+// hash of its referenced name lists.
+func checkSchemaConst(prog *Program, pkg *Package, vs *ast.ValueSpec, d directive) []Diagnostic {
+	pos := prog.Fset.Position(vs.Pos())
+	if len(vs.Names) != 1 {
+		return []Diagnostic{{Pos: pos, Analyzer: "schemahash",
+			Message: "//apollo:schemahash must annotate a single constant"}}
+	}
+	name := vs.Names[0]
+	refs := strings.Fields(d.args)
+	if len(refs) == 0 {
+		return []Diagnostic{{Pos: pos, Analyzer: "schemahash",
+			Message: fmt.Sprintf("//apollo:schemahash on %s names no feature lists", name.Name)}}
+	}
+
+	cobj, ok := pkg.Info.Defs[name].(*types.Const)
+	if !ok {
+		return []Diagnostic{{Pos: pos, Analyzer: "schemahash",
+			Message: fmt.Sprintf("//apollo:schemahash target %s is not a constant", name.Name)}}
+	}
+	golden, ok := constant.Uint64Val(cobj.Val())
+	if !ok {
+		return []Diagnostic{{Pos: pos, Analyzer: "schemahash",
+			Message: fmt.Sprintf("//apollo:schemahash constant %s is not an unsigned integer", name.Name)}}
+	}
+
+	var names []string
+	for _, ref := range refs {
+		part, err := resolveNameList(prog, ref)
+		if err != nil {
+			return []Diagnostic{{Pos: pos, Analyzer: "schemahash",
+				Message: fmt.Sprintf("cannot resolve schema source %s: %v", ref, err)}}
+		}
+		names = append(names, part...)
+	}
+
+	computed := fingerprintNames(names)
+	if computed != golden {
+		return []Diagnostic{{Pos: pos, Analyzer: "schemahash",
+			Message: fmt.Sprintf("schema hash mismatch: %d feature names from %s hash to %#016x, but golden %s = %#016x; "+
+				"a schema change must bump the model format version and this constant together",
+				len(names), strings.Join(refs, " "), computed, name.Name, golden)}}
+	}
+	return nil
+}
+
+// resolveNameList resolves a <pkgpath>.<Name> reference to the ordered
+// string list it declares.
+func resolveNameList(prog *Program, ref string) ([]string, error) {
+	dot := strings.LastIndex(ref, ".")
+	if dot < 0 {
+		return nil, fmt.Errorf("reference must be <pkgpath>.<Name>")
+	}
+	pkgPath, symbol := ref[:dot], ref[dot+1:]
+	pkg, ok := prog.ByPath(pkgPath)
+	if !ok {
+		return nil, fmt.Errorf("package %s not in module", pkgPath)
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Name.Name == symbol && decl.Recv == nil {
+					return stringsFromFunc(pkg, decl)
+				}
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, n := range vs.Names {
+						if n.Name != symbol || i >= len(vs.Values) {
+							continue
+						}
+						lit, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit)
+						if !ok {
+							return nil, fmt.Errorf("%s is not a composite literal", symbol)
+						}
+						return stringsFromLit(pkg, lit)
+					}
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("%s not declared in %s", symbol, pkgPath)
+}
+
+// stringsFromFunc extracts the string list from a function whose body
+// returns a single []string composite literal.
+func stringsFromFunc(pkg *Package, fn *ast.FuncDecl) ([]string, error) {
+	if fn.Body == nil {
+		return nil, fmt.Errorf("%s has no body", fn.Name.Name)
+	}
+	for _, stmt := range fn.Body.List {
+		ret, ok := stmt.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			continue
+		}
+		lit, ok := ast.Unparen(ret.Results[0]).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		return stringsFromLit(pkg, lit)
+	}
+	return nil, fmt.Errorf("%s does not return a []string literal", fn.Name.Name)
+}
+
+// stringsFromLit extracts the ordered strings of a composite literal.
+// Keyed array literals ([N]string{Idx: "name", ...}) are ordered by the
+// constant value of each key; unkeyed literals keep source order.
+func stringsFromLit(pkg *Package, lit *ast.CompositeLit) ([]string, error) {
+	constStr := func(e ast.Expr) (string, error) {
+		tv, ok := pkg.Info.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return "", fmt.Errorf("element %s is not a string constant", types.ExprString(e))
+		}
+		return constant.StringVal(tv.Value), nil
+	}
+	constIdx := func(e ast.Expr) (int64, error) {
+		tv, ok := pkg.Info.Types[e]
+		if !ok || tv.Value == nil {
+			return 0, fmt.Errorf("key %s is not a constant", types.ExprString(e))
+		}
+		idx, ok := constant.Int64Val(constant.ToInt(tv.Value))
+		if !ok {
+			return 0, fmt.Errorf("key %s is not an integer constant", types.ExprString(e))
+		}
+		return idx, nil
+	}
+
+	keyed := make(map[int64]string)
+	var ordered []string
+	maxIdx := int64(-1)
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			idx, err := constIdx(kv.Key)
+			if err != nil {
+				return nil, err
+			}
+			s, err := constStr(kv.Value)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := keyed[idx]; dup {
+				return nil, fmt.Errorf("duplicate index %d", idx)
+			}
+			keyed[idx] = s
+			if idx > maxIdx {
+				maxIdx = idx
+			}
+			continue
+		}
+		s, err := constStr(elt)
+		if err != nil {
+			return nil, err
+		}
+		ordered = append(ordered, s)
+	}
+	if len(keyed) > 0 {
+		if len(ordered) > 0 {
+			return nil, fmt.Errorf("mixed keyed and unkeyed elements")
+		}
+		out := make([]string, maxIdx+1)
+		for i := range out {
+			s, ok := keyed[int64(i)]
+			if !ok {
+				return nil, fmt.Errorf("index %d has no name", i)
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+	return ordered, nil
+}
+
+// fingerprintNames hashes a feature-name list with FNV-1a-64, seeding
+// with schemaHashSeed and separating names with NUL so boundaries are
+// unambiguous. internal/features.Fingerprint is the runtime twin of this
+// function; the two must agree.
+func fingerprintNames(names []string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	mix(schemaHashSeed)
+	for _, n := range names {
+		mix("\x00")
+		mix(n)
+	}
+	return h
+}

@@ -1,0 +1,62 @@
+// Package atomicmod is the atomicalign-analyzer corpus: raw 64-bit
+// sync/atomic operands laid out for GOARCH=386, where the compiler only
+// 4-byte-aligns uint64 struct fields.
+package atomicmod
+
+import "sync/atomic"
+
+// misaligned puts the counter after a 4-byte field: offset 4 under
+// 32-bit layout.
+type misaligned struct {
+	flags uint32
+	n     uint64
+}
+
+// aligned leads with the 64-bit field: offset 0 is always safe.
+type aligned struct {
+	n     uint64
+	flags uint32
+}
+
+// oddElem has size 12 under 32-bit layout, so every second slice element
+// holds its counter at a 4-mod-8 address even though the field offset
+// within the struct is 0.
+type oddElem struct {
+	n    uint64
+	tail uint32
+}
+
+// evenElem pads to 16 bytes; elements stay 64-bit aligned.
+type evenElem struct {
+	n    uint64
+	tail uint64
+}
+
+func Bump(m *misaligned, a *aligned) {
+	atomic.AddUint64(&m.n, 1)  // want `offset 4 under GOARCH=386 layout`
+	atomic.AddUint64(&a.n, 1)  // aligned: no finding
+	_ = atomic.LoadUint64(&m.n) // want `offset 4 under GOARCH=386 layout`
+}
+
+func BumpSlice(odd []oddElem, even []evenElem, i int) {
+	atomic.AddUint64(&odd[i].n, 1)  // want `element of size 12 under GOARCH=386`
+	atomic.AddUint64(&even[i].n, 1) // 16-byte elements: no finding
+}
+
+// Nested structs accumulate offsets through the selection path: inner
+// sits at offset 8, its counter at 8+4=12.
+type outer struct {
+	lead  uint64
+	inner misaligned
+}
+
+func BumpNested(o *outer) {
+	atomic.AddUint64(&o.inner.n, 1) // want `offset 12 under GOARCH=386 layout`
+}
+
+// Local 64-bit variables are allocation-start aligned: no finding.
+func BumpLocal() uint64 {
+	var n uint64
+	atomic.AddUint64(&n, 1)
+	return n
+}

@@ -1,0 +1,3 @@
+module atomicmod
+
+go 1.22

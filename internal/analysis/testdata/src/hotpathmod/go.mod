@@ -1,0 +1,3 @@
+module hotpathmod
+
+go 1.22

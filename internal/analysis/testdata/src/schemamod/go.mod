@@ -1,0 +1,3 @@
+module schemamod
+
+go 1.22

@@ -1,0 +1,31 @@
+// Package schemamod is the schemahash-analyzer corpus: golden constants
+// checked against the AST name lists their directives reference.
+package schemamod
+
+// Names is a function-style schema source (a []string literal of
+// constants).
+func Names() []string {
+	return []string{"width", "height"}
+}
+
+// Index-keyed array sources are ordered by key, not source position.
+const (
+	depthIdx = iota
+)
+
+var extraNames = [1]string{depthIdx: "depth"}
+
+// GoodHash is Fingerprint(["width", "height", "depth"]).
+//
+//apollo:schemahash schemamod.Names schemamod.extraNames
+const GoodHash uint64 = 0x31257d647ad16ea6
+
+// BadHash records a stale fingerprint.
+//
+//apollo:schemahash schemamod.Names schemamod.extraNames
+const BadHash uint64 = 0xdeadbeef // want `schema hash mismatch`
+
+// MissingRef names a source that does not exist.
+//
+//apollo:schemahash schemamod.NoSuchList
+const MissingRef uint64 = 1 // want `cannot resolve schema source`

@@ -1,0 +1,44 @@
+package caliper
+
+import "testing"
+
+// Get is //apollo:hotpath (feature extraction reads the blackboard on
+// every kernel launch); the copy-on-write rework must keep it lock-free
+// and allocation-free.
+func TestGetAllocationFree(t *testing.T) {
+	a := New()
+	a.Set("timestep", 42)
+	a.Begin("patch", 7)
+	allocs := testing.AllocsPerRun(200, func() {
+		if v, ok := a.Get("timestep"); !ok || v != 42 {
+			t.Fatal("lost attribute")
+		}
+		if got := a.GetOr("patch", 0); got != 7 {
+			t.Fatal("lost scoped attribute")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Annotations.Get allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// Scoped begin/end semantics must survive the copy-on-write rework:
+// concurrent readers see either the old or the new snapshot, and pops
+// restore outer scopes.
+func TestScopesAcrossSnapshots(t *testing.T) {
+	a := New()
+	a.Set("k", 1)
+	a.Begin("k", 2)
+	if v, _ := a.Get("k"); v != 2 {
+		t.Fatalf("inner scope = %g, want 2", v)
+	}
+	a.End("k")
+	if v, _ := a.Get("k"); v != 1 {
+		t.Fatalf("outer scope = %g, want 1", v)
+	}
+	a.End("k")
+	if _, ok := a.Get("k"); ok {
+		t.Fatal("empty stack still readable")
+	}
+	a.End("k") // popping an empty stack stays a no-op
+}

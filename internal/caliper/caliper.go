@@ -14,6 +14,7 @@ package caliper
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Encode maps a string attribute value to a stable numeric code. The code
@@ -34,23 +35,44 @@ func Encode(s string) float64 {
 }
 
 // Annotations is a thread-safe blackboard of named attribute stacks.
-// The zero value is not ready for use; call New.
+// Reads are lock-free: the stack map is copy-on-write, published through
+// an atomic pointer, because Get sits on the kernel-launch hot path
+// (feature extraction reads application attributes per launch) while
+// writes happen at scope boundaries like timesteps, orders of magnitude
+// rarer. The zero value is not ready for use; call New.
 type Annotations struct {
-	mu     sync.RWMutex
-	stacks map[string][]float64
+	// mu serializes writers; readers never take it.
+	mu  sync.Mutex
+	cur atomic.Pointer[map[string][]float64]
 }
 
 // New returns an empty annotation blackboard.
 func New() *Annotations {
-	return &Annotations{stacks: make(map[string][]float64)}
+	a := &Annotations{}
+	m := make(map[string][]float64)
+	a.cur.Store(&m)
+	return a
+}
+
+// mutate republishes the stack map with key's stack replaced by
+// f(old stack). Both the map and the changed stack are fresh copies, so
+// readers of the previous snapshot are never disturbed.
+func (a *Annotations) mutate(key string, f func(st []float64) []float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	old := *a.cur.Load()
+	next := make(map[string][]float64, len(old)+1)
+	for k, st := range old {
+		next[k] = st
+	}
+	next[key] = f(append([]float64(nil), old[key]...))
+	a.cur.Store(&next)
 }
 
 // Set replaces the current value of the attribute (clearing any scope
 // stack below it).
 func (a *Annotations) Set(key string, value float64) {
-	a.mu.Lock()
-	a.stacks[key] = append(a.stacks[key][:0], value)
-	a.mu.Unlock()
+	a.mutate(key, func(st []float64) []float64 { return append(st[:0], value) })
 }
 
 // SetString replaces the attribute with the encoded string value.
@@ -61,26 +83,25 @@ func (a *Annotations) SetString(key, value string) {
 // Begin pushes a scoped value for the attribute. Each Begin must be
 // matched by an End with the same key.
 func (a *Annotations) Begin(key string, value float64) {
-	a.mu.Lock()
-	a.stacks[key] = append(a.stacks[key], value)
-	a.mu.Unlock()
+	a.mutate(key, func(st []float64) []float64 { return append(st, value) })
 }
 
 // End pops the innermost scoped value of the attribute. Ending an
 // attribute with no open scope is a no-op.
 func (a *Annotations) End(key string) {
-	a.mu.Lock()
-	if st := a.stacks[key]; len(st) > 0 {
-		a.stacks[key] = st[:len(st)-1]
-	}
-	a.mu.Unlock()
+	a.mutate(key, func(st []float64) []float64 {
+		if len(st) == 0 {
+			return st
+		}
+		return st[:len(st)-1]
+	})
 }
 
 // Get returns the current (innermost) value of the attribute.
+//
+//apollo:hotpath
 func (a *Annotations) Get(key string) (float64, bool) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	st := a.stacks[key]
+	st := (*a.cur.Load())[key]
 	if len(st) == 0 {
 		return 0, false
 	}
@@ -88,6 +109,8 @@ func (a *Annotations) Get(key string) (float64, bool) {
 }
 
 // GetOr returns the current value of the attribute, or def if unset.
+//
+//apollo:hotpath
 func (a *Annotations) GetOr(key string, def float64) float64 {
 	if v, ok := a.Get(key); ok {
 		return v
@@ -97,10 +120,9 @@ func (a *Annotations) GetOr(key string, def float64) float64 {
 
 // Snapshot returns the current value of every set attribute.
 func (a *Annotations) Snapshot() map[string]float64 {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	out := make(map[string]float64, len(a.stacks))
-	for k, st := range a.stacks {
+	stacks := *a.cur.Load()
+	out := make(map[string]float64, len(stacks))
+	for k, st := range stacks {
 		if len(st) > 0 {
 			out[k] = st[len(st)-1]
 		}
@@ -110,14 +132,13 @@ func (a *Annotations) Snapshot() map[string]float64 {
 
 // Keys returns the names of all currently set attributes, sorted.
 func (a *Annotations) Keys() []string {
-	a.mu.RLock()
-	keys := make([]string, 0, len(a.stacks))
-	for k, st := range a.stacks {
+	stacks := *a.cur.Load()
+	keys := make([]string, 0, len(stacks))
+	for k, st := range stacks {
 		if len(st) > 0 {
 			keys = append(keys, k)
 		}
 	}
-	a.mu.RUnlock()
 	sort.Strings(keys)
 	return keys
 }
@@ -125,6 +146,7 @@ func (a *Annotations) Keys() []string {
 // Clear removes every attribute.
 func (a *Annotations) Clear() {
 	a.mu.Lock()
-	a.stacks = make(map[string][]float64)
-	a.mu.Unlock()
+	defer a.mu.Unlock()
+	m := make(map[string][]float64)
+	a.cur.Store(&m)
 }

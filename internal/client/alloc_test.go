@@ -1,0 +1,43 @@
+package client
+
+import (
+	"testing"
+
+	"apollo/internal/features"
+)
+
+// Predict is //apollo:hotpath: once a model is cached and a vector's
+// decision has been promoted into the published memo, a launch decision
+// must cost zero allocations (pooled key buffer, one atomic map load).
+func TestPredictMemoHitAllocationFree(t *testing.T) {
+	ts, _ := newService(t)
+	c := New(ts.URL, Options{})
+	m := testModel(t, false)
+	if _, err := c.Push("p", m); err != nil {
+		t.Fatal(err)
+	}
+	ni := m.Schema.Index(features.NumIndices)
+	x := make([]float64, m.Schema.Len())
+	x[ni] = 32
+	// Drive memoPromoteBatch distinct vectors through Predict so the
+	// dirty overlay (x included) republishes into the lock-free map.
+	for i := 0; i < memoPromoteBatch; i++ {
+		v := make([]float64, m.Schema.Len())
+		v[ni] = float64(32 + i)
+		if _, err := c.Predict("p", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := c.MemoHits()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := c.Predict("p", x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("memoized Predict allocates %.1f objects per call, want 0", allocs)
+	}
+	if c.MemoHits() <= hits {
+		t.Error("guard did not exercise the memo hit path")
+	}
+}

@@ -72,8 +72,15 @@ type Client struct {
 	mu     sync.Mutex
 	models atomic.Pointer[map[string]*modelState]
 
-	memoMu sync.RWMutex
-	memo   map[string]int // ETag+vector -> class
+	// memo is the published decision memo (ETag+vector -> class),
+	// copy-on-write behind an atomic pointer so the Predict hit path
+	// reads it without any lock. memoMu guards memoDirty, an overlay
+	// batching new decisions; it is folded into the published map every
+	// memoPromoteBatch entries, so the per-miss cost is a short mutex
+	// and the per-hit cost is one atomic load.
+	memoMu    sync.Mutex
+	memo      atomic.Pointer[map[string]int]
+	memoDirty map[string]int
 
 	fetches  atomic.Uint64 // network round trips attempted
 	memoHits atomic.Uint64
@@ -81,6 +88,11 @@ type Client struct {
 
 // memoCap bounds the decision memo; on overflow it resets.
 const memoCap = 8192
+
+// memoPromoteBatch is how many unpublished decisions accumulate before
+// the memo republishes. Batching keeps promotion cost amortized: a full
+// map copy every N misses instead of every miss.
+const memoPromoteBatch = 64
 
 // modelState tracks one model name's cache and failure backoff.
 type modelState struct {
@@ -107,8 +119,10 @@ func New(base string, opts Options) *Client {
 		maxBackoff:     opts.MaxBackoff,
 		now:            time.Now,
 		rand:           rand.Float64,
-		memo:           map[string]int{},
+		memoDirty:      map[string]int{},
 	}
+	memo := map[string]int{}
+	c.memo.Store(&memo)
 	c.models.Store(&map[string]*modelState{})
 	return c
 }
@@ -306,52 +320,109 @@ func (c *Client) backoff(failures int) time.Duration {
 // Predict evaluates the named model on a vector laid out by the model's
 // own schema, memoizing per unique (model version, vector). The decision
 // path never blocks on the network: it uses whatever model Fetch last
-// cached, and errors only if no model has ever been fetched.
+// cached, and errors only if no model has ever been fetched. A memoized
+// decision costs one atomic load of the published memo map plus a pooled
+// key build — no locks, no allocation (apollo-vet enforces this).
+//
+//apollo:hotpath
 func (c *Client) Predict(name string, x []float64) (int, error) {
-	cur := c.state(name).cur.Load()
+	var cur *Cached
+	if st, ok := (*c.models.Load())[name]; ok {
+		cur = st.cur.Load()
+	}
 	if cur == nil {
 		var err error
-		if cur, err = c.Fetch(name); err != nil {
+		if cur, err = c.predictBootstrap(name); err != nil {
 			return 0, err
 		}
 	}
 	if len(x) != cur.Model.Schema.Len() {
-		return 0, fmt.Errorf("client: vector has %d features, model %s wants %d",
-			len(x), name, cur.Model.Schema.Len())
+		return 0, sizeMismatch(name, len(x), cur.Model.Schema.Len())
 	}
 	kb := keyPool.Get().(*[]byte)
 	b := appendMemoKey((*kb)[:0], cur.ETag, x)
-	c.memoMu.RLock()
-	class, hit := c.memo[string(b)] // string(b) in a map read does not allocate
-	c.memoMu.RUnlock()
+	class, hit := (*c.memo.Load())[string(b)] // string(b) in a map read does not allocate
 	if hit {
 		*kb = b
 		keyPool.Put(kb)
 		c.memoHits.Add(1)
 		return class, nil
 	}
-	class = cur.Model.Predict(x)
-	c.memoMu.Lock()
-	if len(c.memo) >= memoCap {
-		c.memo = make(map[string]int)
-	}
-	c.memo[string(b)] = class
-	c.memoMu.Unlock()
+	class = c.memoMiss(b, cur, x)
 	*kb = b
 	keyPool.Put(kb)
 	return class, nil
 }
 
-// keyPool recycles memo-key scratch buffers so a cached Predict stays
-// allocation-free on the launch hot path.
-var keyPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+// predictBootstrap resolves the first decision for a model name: fetch
+// it (or surface why we cannot). Every later launch hits the atomic
+// model cache and never lands here.
+//
+//apollo:coldpath first decision per model name; steady-state launches read the atomic cache
+func (c *Client) predictBootstrap(name string) (*Cached, error) {
+	if cur := c.state(name).cur.Load(); cur != nil {
+		return cur, nil
+	}
+	return c.Fetch(name)
+}
+
+// sizeMismatch builds the vector-layout error off the hot path.
+//
+//apollo:coldpath error construction for malformed input vectors
+func sizeMismatch(name string, got, want int) error {
+	return fmt.Errorf("client: vector has %d features, model %s wants %d", got, name, want)
+}
+
+// memoMiss resolves a decision absent from the published memo: answer
+// from the dirty overlay if a prior miss already computed it, otherwise
+// walk the tree and record the result. The overlay republishes into the
+// lock-free map every memoPromoteBatch fresh decisions, so each unique
+// (model version, vector) takes this mutex a bounded number of times and
+// then settles onto the published hit path.
+//
+//apollo:coldpath published-map misses are transient; every decision promotes to the lock-free map within memoPromoteBatch fresh misses
+func (c *Client) memoMiss(key []byte, cur *Cached, x []float64) int {
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
+	if class, ok := c.memoDirty[string(key)]; ok {
+		c.memoHits.Add(1)
+		return class
+	}
+	class := cur.Model.Predict(x)
+	if len(*c.memo.Load())+len(c.memoDirty) >= memoCap {
+		empty := map[string]int{}
+		c.memo.Store(&empty)
+		c.memoDirty = map[string]int{}
+	}
+	c.memoDirty[string(key)] = class
+	if len(c.memoDirty) < memoPromoteBatch {
+		return class
+	}
+	pub := *c.memo.Load()
+	next := make(map[string]int, len(pub)+len(c.memoDirty))
+	for k, v := range pub {
+		next[k] = v
+	}
+	for k, v := range c.memoDirty {
+		next[k] = v
+	}
+	c.memo.Store(&next)
+	c.memoDirty = make(map[string]int, memoPromoteBatch)
+	return class
+}
+
+// keyPool recycles memo-key scratch buffers. 512 bytes covers an ETag
+// plus the full Table-I vector (41 features x 8 bytes), so a steady-state
+// Predict never grows the buffer — apollo-vet's hotpath analyzer and the
+// zero-alloc guard test both hold the path to zero allocations.
+var keyPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
 
 // appendMemoKey appends the decision memo key — entity tag plus the
 // exact bit pattern of every feature — to b.
 func appendMemoKey(b []byte, etag string, x []float64) []byte {
-	b = append(b, etag...)
+	b = append(b, etag...) //apollo:allocok appends into a pooled 512-byte buffer sized for ETag + Table-I vector
 	for _, v := range x {
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v)) //apollo:allocok pooled buffer, see keyPool
 	}
 	return b
 }

@@ -92,10 +92,11 @@ func (u *Uploader) Discarded() uint64 { return u.discards.Load() }
 // Flush drains the recorder and attempts one upload of everything
 // pending. Inside a backoff window it only drains (bounded) and returns
 // nil without a network attempt; a failed attempt keeps the rows for the
-// next flush and arms the backoff.
+// next flush and arms the backoff. The rows being posted are taken out
+// of the pending frame before the network call, so u.mu is never held
+// across I/O and concurrent flushes cannot double-send.
 func (u *Uploader) Flush() error {
 	u.mu.Lock()
-	defer u.mu.Unlock()
 	if f := u.rec.Drain(0); f != nil {
 		if u.pending == nil {
 			u.pending = f
@@ -103,8 +104,43 @@ func (u *Uploader) Flush() error {
 			u.pending.Append(f)
 		}
 	}
-	if u.pending == nil || u.pending.Len() == 0 {
+	u.boundPendingLocked()
+	if u.pending == nil || u.pending.Len() == 0 || u.nextTry.After(u.c.now()) {
+		u.mu.Unlock()
 		return nil
+	}
+	sending := u.pending
+	u.pending = nil
+	u.mu.Unlock()
+
+	err := u.c.PostTelemetry(telemetry.NewBatch(u.model, sending))
+
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if err != nil {
+		// Put the rows back ahead of anything drained meanwhile.
+		if u.pending != nil {
+			sending.Append(u.pending)
+		}
+		u.pending = sending
+		u.boundPendingLocked()
+		u.nextTry = u.c.now().Add(u.c.backoff(u.failures))
+		if u.failures < 30 {
+			u.failures++
+		}
+		return err
+	}
+	u.batches.Add(1)
+	u.rows.Add(uint64(sending.Len()))
+	u.failures = 0
+	u.nextTry = time.Time{}
+	return nil
+}
+
+// boundPendingLocked discards the oldest pending rows past MaxPending.
+func (u *Uploader) boundPendingLocked() {
+	if u.pending == nil {
+		return
 	}
 	if over := u.pending.Len() - u.max; over > 0 {
 		idx := make([]int, u.max)
@@ -114,23 +150,6 @@ func (u *Uploader) Flush() error {
 		u.pending = u.pending.SelectRows(idx)
 		u.discards.Add(uint64(over))
 	}
-	if u.nextTry.After(u.c.now()) {
-		return nil
-	}
-	batch := telemetry.NewBatch(u.model, u.pending)
-	if err := u.c.PostTelemetry(batch); err != nil {
-		u.nextTry = u.c.now().Add(u.c.backoff(u.failures))
-		if u.failures < 30 {
-			u.failures++
-		}
-		return err
-	}
-	u.batches.Add(1)
-	u.rows.Add(uint64(u.pending.Len()))
-	u.pending = nil
-	u.failures = 0
-	u.nextTry = time.Time{}
-	return nil
 }
 
 // Start flushes every interval until ctx is done, then performs one

@@ -229,6 +229,18 @@ func (m *Model) SchemaHash() string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// TableISchemaHash is the golden fingerprint of the Table I feature
+// schema: features.Fingerprint over the kernel, instruction-mix, and
+// application feature names in vector order. apollo-vet's schemahash
+// analyzer recomputes this from the name lists in the AST (the sources
+// are named by the directive below) and fails the build on mismatch, so
+// renaming or reordering a feature — which silently shifts every
+// deployed model's vector layout — cannot land without deliberately
+// bumping this constant together with a model format version change.
+//
+//apollo:schemahash apollo/internal/features.KernelFeatureNames apollo/internal/instmix.groupNames apollo/internal/features.AppFeatureNames
+const TableISchemaHash uint64 = 0x512005e953bd06e6
+
 // Envelope is the stable, versioned wire and disk form of a published
 // model: the name it is registered under, its monotonic registry version,
 // and the schema hash, wrapped around the model JSON. The envelope is

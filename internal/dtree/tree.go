@@ -56,6 +56,8 @@ type Tree struct {
 // Predict returns the predicted class for the feature vector x, walking
 // from the root to a leaf. It is the hot-path operation Apollo performs at
 // every kernel launch; it allocates nothing.
+//
+//apollo:hotpath
 func (t *Tree) Predict(x []float64) int {
 	n := t.Root
 	for !n.IsLeaf() {
@@ -70,6 +72,8 @@ func (t *Tree) Predict(x []float64) int {
 
 // PredictNode returns the leaf reached by x, exposing the class histogram
 // for callers that want confidence information.
+//
+//apollo:hotpath
 func (t *Tree) PredictNode(x []float64) *Node {
 	n := t.Root
 	for !n.IsLeaf() {

@@ -48,6 +48,30 @@ func AppFeatureNames() []string {
 	return []string{Timestep, ProblemSize, ProblemName, PatchID}
 }
 
+// Fingerprint hashes a feature-name list with FNV-1a-64, seeded with
+// "apollo-schema-v1" and separating names with NUL so boundaries are
+// unambiguous. It is the runtime twin of apollo-vet's schemahash
+// analyzer, which computes the same hash from the AST at vet time and
+// compares it against a golden constant (core.TableISchemaHash): the two
+// implementations must agree, and a test pins them together.
+func Fingerprint(names []string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	mix("apollo-schema-v1")
+	for _, n := range names {
+		mix("\x00")
+		mix(n)
+	}
+	return h
+}
+
 // Schema is an ordered list of feature names defining the layout of
 // feature vectors.
 type Schema struct {

@@ -125,6 +125,8 @@ func ValidateName(name string) error {
 
 // Get returns the current entry for name. It is lock-free and safe to
 // call from any number of goroutines concurrently with publishes.
+//
+//apollo:hotpath
 func (r *Registry) Get(name string) (*Entry, bool) {
 	m := *r.byName.Load()
 	p, ok := m[name]
@@ -151,6 +153,8 @@ func (r *Registry) Len() int { return len(*r.byName.Load()) }
 
 // Publish registers a new version of the model under name, persisting it
 // when the registry is disk-backed, and returns the new entry.
+//
+//apollo:lockok publishes are rare and intentionally serialized under r.mu so the disk and in-memory views can never diverge
 func (r *Registry) Publish(name string, m *core.Model) (*Entry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -161,6 +165,8 @@ func (r *Registry) Publish(name string, m *core.Model) (*Entry, error) {
 // An envelope's own version is honored when it is ahead of the current
 // one (so watcher reloads keep file and registry versions aligned);
 // otherwise the next monotonic version is assigned.
+//
+//apollo:lockok publishes are rare and intentionally serialized under r.mu so the disk and in-memory views can never diverge
 func (r *Registry) PublishRaw(name string, data []byte) (*Entry, error) {
 	env, err := core.ParseModelOrEnvelope(data)
 	if err != nil {

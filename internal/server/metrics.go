@@ -11,11 +11,24 @@ import (
 )
 
 // Metrics is a dependency-free Prometheus-text metrics set: labeled
-// counters, gauges, and fixed-bucket histograms, all updateable from the
-// request hot path with atomics (label-map lookups take a short mutex
-// only on first sight of a label value).
+// counters, gauges, and fixed-bucket histograms. Updates from the
+// request hot path are lock-free: readers follow an atomically published
+// copy-on-write snapshot of the family maps and bump atomics in place.
+// A mutex serializes only the cold path that clones and republishes the
+// maps when a metric or label value is seen for the first time, so
+// steady-state updates never contend and rendering never blocks writers.
 type Metrics struct {
-	mu         sync.Mutex
+	// mu serializes snapshot writers (first sight of a metric or label
+	// value); it is never held while rendering or updating a series.
+	mu  sync.Mutex
+	cur atomic.Pointer[metricsSnapshot]
+}
+
+// metricsSnapshot is one immutable published view of every metric
+// family. The maps are never mutated after publication — the slow path
+// clones and republishes — while the *atomic values inside are shared
+// across snapshots and updated in place.
+type metricsSnapshot struct {
 	counters   map[string]map[string]*atomic.Uint64 // metric -> label value -> count
 	gauges     map[string]map[string]*atomic.Int64  // metric -> label value -> value
 	counterLbl map[string]string                    // metric -> label name
@@ -36,57 +49,98 @@ type histogram struct {
 
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{
+	m := &Metrics{}
+	m.cur.Store(&metricsSnapshot{
 		counters:   map[string]map[string]*atomic.Uint64{},
 		gauges:     map[string]map[string]*atomic.Int64{},
 		counterLbl: map[string]string{},
 		gaugeLbl:   map[string]string{},
 		help:       map[string]string{},
 		hists:      map[string]*histogram{},
-	}
+	})
+	return m
 }
 
 // CounterAdd adds delta to the counter's series for the label value.
 // label may be "" for an unlabeled counter.
+//
+//apollo:hotpath
 func (m *Metrics) CounterAdd(metric, labelName, labelValue, help string, delta uint64) {
-	m.counterSeries(metric, labelName, labelValue, help).Add(delta)
+	if series, ok := m.cur.Load().counters[metric]; ok {
+		if c, ok := series[labelValue]; ok {
+			c.Add(delta)
+			return
+		}
+	}
+	m.counterSeriesSlow(metric, labelName, labelValue, help).Add(delta)
 }
 
-func (m *Metrics) counterSeries(metric, labelName, labelValue, help string) *atomic.Uint64 {
+// counterSeriesSlow creates the counter series on first sight of a
+// metric or label value, cloning and republishing the snapshot.
+//
+//apollo:coldpath first sight of a metric/label value; amortized to zero at steady state
+func (m *Metrics) counterSeriesSlow(metric, labelName, labelValue, help string) *atomic.Uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	series, ok := m.counters[metric]
+	s := m.cur.Load()
+	if series, ok := s.counters[metric]; ok { // re-check under the writer lock
+		if c, ok := series[labelValue]; ok {
+			return c
+		}
+	}
+	next := s.clone()
+	series, ok := next.counters[metric]
 	if !ok {
 		series = map[string]*atomic.Uint64{}
-		m.counters[metric] = series
-		m.counterLbl[metric] = labelName
-		m.help[metric] = help
+		next.counterLbl[metric] = labelName
+		next.help[metric] = help
+	} else {
+		series = cloneSeries(series)
 	}
-	c, ok := series[labelValue]
-	if !ok {
-		c = &atomic.Uint64{}
-		series[labelValue] = c
-	}
+	c := &atomic.Uint64{}
+	series[labelValue] = c
+	next.counters[metric] = series
+	m.cur.Store(next)
 	return c
 }
 
 // GaugeSet sets the gauge's series for the label value.
+//
+//apollo:hotpath
 func (m *Metrics) GaugeSet(metric, labelName, labelValue, help string, value int64) {
+	if series, ok := m.cur.Load().gauges[metric]; ok {
+		if g, ok := series[labelValue]; ok {
+			g.Store(value)
+			return
+		}
+	}
+	m.gaugeSeriesSlow(metric, labelName, labelValue, help).Store(value)
+}
+
+//apollo:coldpath first sight of a metric/label value; amortized to zero at steady state
+func (m *Metrics) gaugeSeriesSlow(metric, labelName, labelValue, help string) *atomic.Int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	series, ok := m.gauges[metric]
+	s := m.cur.Load()
+	if series, ok := s.gauges[metric]; ok {
+		if g, ok := series[labelValue]; ok {
+			return g
+		}
+	}
+	next := s.clone()
+	series, ok := next.gauges[metric]
 	if !ok {
 		series = map[string]*atomic.Int64{}
-		m.gauges[metric] = series
-		m.gaugeLbl[metric] = labelName
-		m.help[metric] = help
+		next.gaugeLbl[metric] = labelName
+		next.help[metric] = help
+	} else {
+		series = cloneSeries(series)
 	}
-	g, ok := series[labelValue]
-	if !ok {
-		g = &atomic.Int64{}
-		series[labelValue] = g
-	}
-	g.Store(value)
+	g := &atomic.Int64{}
+	series[labelValue] = g
+	next.gauges[metric] = series
+	m.cur.Store(next)
+	return g
 }
 
 // DefaultLatencyBuckets are the histogram bounds in seconds, spanning
@@ -97,15 +151,34 @@ var DefaultLatencyBuckets = []float64{
 
 // Observe records one observation (in seconds) into the histogram,
 // creating it with DefaultLatencyBuckets on first use.
+//
+//apollo:hotpath
 func (m *Metrics) Observe(metric, help string, seconds float64) {
-	m.mu.Lock()
-	h, ok := m.hists[metric]
+	h, ok := m.cur.Load().hists[metric]
 	if !ok {
-		h = &histogram{bounds: DefaultLatencyBuckets, counts: make([]atomic.Uint64, len(DefaultLatencyBuckets))}
-		m.hists[metric] = h
-		m.help[metric] = help
+		h = m.histSlow(metric, help)
 	}
-	m.mu.Unlock()
+	h.record(seconds)
+}
+
+//apollo:coldpath first sight of a histogram; amortized to zero at steady state
+func (m *Metrics) histSlow(metric, help string) *histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.cur.Load()
+	if h, ok := s.hists[metric]; ok {
+		return h
+	}
+	next := s.clone()
+	h := &histogram{bounds: DefaultLatencyBuckets, counts: make([]atomic.Uint64, len(DefaultLatencyBuckets))}
+	next.hists[metric] = h
+	next.help[metric] = help
+	m.cur.Store(next)
+	return h
+}
+
+//apollo:hotpath
+func (h *histogram) record(seconds float64) {
 	i := sort.SearchFloat64s(h.bounds, seconds)
 	if i < len(h.counts) {
 		h.counts[i].Add(1)
@@ -118,45 +191,87 @@ func (m *Metrics) Observe(metric, help string, seconds float64) {
 	h.total.Add(1)
 }
 
+// clone shallow-copies every family map so a writer can extend one
+// without disturbing published readers. Inner series maps are shared:
+// they are themselves copy-on-write and never mutated after publication.
+func (s *metricsSnapshot) clone() *metricsSnapshot {
+	next := &metricsSnapshot{
+		counters:   make(map[string]map[string]*atomic.Uint64, len(s.counters)+1),
+		gauges:     make(map[string]map[string]*atomic.Int64, len(s.gauges)+1),
+		counterLbl: make(map[string]string, len(s.counterLbl)+1),
+		gaugeLbl:   make(map[string]string, len(s.gaugeLbl)+1),
+		help:       make(map[string]string, len(s.help)+1),
+		hists:      make(map[string]*histogram, len(s.hists)+1),
+	}
+	for k, v := range s.counters {
+		next.counters[k] = v
+	}
+	for k, v := range s.gauges {
+		next.gauges[k] = v
+	}
+	for k, v := range s.counterLbl {
+		next.counterLbl[k] = v
+	}
+	for k, v := range s.gaugeLbl {
+		next.gaugeLbl[k] = v
+	}
+	for k, v := range s.help {
+		next.help[k] = v
+	}
+	for k, v := range s.hists {
+		next.hists[k] = v
+	}
+	return next
+}
+
+func cloneSeries[T any](series map[string]*T) map[string]*T {
+	next := make(map[string]*T, len(series)+1)
+	for k, v := range series {
+		next[k] = v
+	}
+	return next
+}
+
 // WritePrometheus renders every metric in the Prometheus text exposition
-// format (version 0.0.4), deterministically ordered.
+// format (version 0.0.4), deterministically ordered. It reads one
+// published snapshot and holds no lock, so a slow scraper never stalls
+// the request path.
 func (m *Metrics) WritePrometheus(w io.Writer) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	s := m.cur.Load()
 	var names []string
-	for n := range m.counters {
+	for n := range s.counters {
 		names = append(names, n)
 	}
-	for n := range m.gauges {
+	for n := range s.gauges {
 		names = append(names, n)
 	}
-	for n := range m.hists {
+	for n := range s.hists {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		if help := m.help[n]; help != "" {
+		if help := s.help[n]; help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, help); err != nil {
 				return err
 			}
 		}
 		switch {
-		case m.counters[n] != nil:
+		case s.counters[n] != nil:
 			fmt.Fprintf(w, "# TYPE %s counter\n", n)
-			if err := writeSeries(w, n, m.counterLbl[n], m.counters[n], func(c *atomic.Uint64) string {
+			if err := writeSeries(w, n, s.counterLbl[n], s.counters[n], func(c *atomic.Uint64) string {
 				return strconv.FormatUint(c.Load(), 10)
 			}); err != nil {
 				return err
 			}
-		case m.gauges[n] != nil:
+		case s.gauges[n] != nil:
 			fmt.Fprintf(w, "# TYPE %s gauge\n", n)
-			if err := writeSeries(w, n, m.gaugeLbl[n], m.gauges[n], func(g *atomic.Int64) string {
+			if err := writeSeries(w, n, s.gaugeLbl[n], s.gauges[n], func(g *atomic.Int64) string {
 				return strconv.FormatInt(g.Load(), 10)
 			}); err != nil {
 				return err
 			}
 		default:
-			h := m.hists[n]
+			h := s.hists[n]
 			fmt.Fprintf(w, "# TYPE %s histogram\n", n)
 			var cum uint64
 			for i, b := range h.bounds {

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// CounterAdd/Observe are //apollo:hotpath — every decision request bumps
+// them — so after the first sight of a series the steady-state update
+// must not allocate or lock.
+func TestMetricsHotPathAllocationFree(t *testing.T) {
+	m := NewMetrics()
+	m.CounterAdd("apollo_decisions_total", "model", "guard", "h", 1)
+	m.Observe("apollo_decision_seconds", "h", 1e-5)
+	allocs := testing.AllocsPerRun(200, func() {
+		m.CounterAdd("apollo_decisions_total", "model", "guard", "h", 1)
+		m.Observe("apollo_decision_seconds", "h", 1e-5)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state metric update allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// The copy-on-write snapshot must not lose updates racing a republish:
+// counters bumped concurrently with first-sight creations of other
+// series all land, because the *atomic values are shared across
+// snapshots.
+func TestMetricsConcurrentFirstSight(t *testing.T) {
+	m := NewMetrics()
+	const perG, goroutines = 200, 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			label := string(rune('a' + g))
+			for i := 0; i < perG; i++ {
+				m.CounterAdd("apollo_race_total", "worker", label, "h", 1)
+				m.GaugeSet("apollo_race_gauge", "worker", label, "h", int64(i))
+				m.Observe("apollo_race_seconds", "h", 1e-6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for g := 0; g < goroutines; g++ {
+		want := "apollo_race_total{worker=\"" + string(rune('a'+g)) + "\"} 200"
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "apollo_race_seconds_count 1600") {
+		t.Errorf("histogram lost observations:\n%s", out)
+	}
+}

@@ -29,6 +29,8 @@ func WithTelemetryDir(dir string) Option {
 func (s *Server) TelemetryDir() string { return s.telemetryDir }
 
 // spool returns (opening if needed) the spool for model name.
+//
+//apollo:lockok spool opening is a once-per-model event and spoolMu exists to serialize exactly it
 func (s *Server) spool(name string) (*telemetry.Spool, error) {
 	s.spoolMu.Lock()
 	defer s.spoolMu.Unlock()
@@ -44,6 +46,8 @@ func (s *Server) spool(name string) (*telemetry.Spool, error) {
 }
 
 // CloseSpools seals every open telemetry spool segment.
+//
+//apollo:lockok shutdown path; holding spoolMu keeps late ingests from racing the close
 func (s *Server) CloseSpools() error {
 	s.spoolMu.Lock()
 	defer s.spoolMu.Unlock()

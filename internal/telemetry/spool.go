@@ -108,6 +108,8 @@ func (s *Spool) Appended() uint64 {
 // Append writes rows laid out by columns. The first append fixes the
 // spool's layout; later appends must match it exactly or fail without
 // writing anything.
+//
+//apollo:lockok s.mu exists to serialize segment file writes and rotation; Append is the off-request ingest path
 func (s *Spool) Append(columns []string, rows [][]float64) error {
 	for i, row := range rows {
 		if len(row) != len(columns) {
@@ -150,6 +152,8 @@ func (s *Spool) Append(columns []string, rows [][]float64) error {
 
 // Rotate seals the active segment so the next append starts a new one.
 // Rotating an idle spool is a no-op.
+//
+//apollo:lockok s.mu exists to serialize segment file writes and rotation
 func (s *Spool) Rotate() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -269,6 +273,8 @@ func (c *Cursor) Columns() []string {
 // returning nil when there is nothing new. A spool directory that does
 // not exist yet reads as empty, so a trainer may start before the first
 // batch arrives.
+//
+//apollo:lockok c.mu exists to serialize the cursor's segment reads and offset bookkeeping
 func (c *Cursor) Poll() (*dataset.Frame, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

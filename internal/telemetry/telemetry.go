@@ -128,6 +128,8 @@ func (r *Recorder) Dropped() uint64 { return r.dropped.Load() }
 // extracts the feature vector into its preallocated row, and publishes
 // it. It never blocks: contention resolves by CAS retry and a full ring
 // drops the sample.
+//
+//apollo:hotpath
 func (r *Recorder) Record(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, elapsedNS float64) {
 	if r.seq.Add(1)&r.sampleMask != 0 {
 		return

@@ -122,12 +122,18 @@ type SwapSource struct {
 	ps atomic.Pointer[Projectors]
 }
 
+// emptyProjectors backs Projectors() before the first Store, so the
+// empty case costs no allocation on the launch path.
+var emptyProjectors = &Projectors{}
+
 // Projectors returns the current set (never nil).
+//
+//apollo:hotpath
 func (s *SwapSource) Projectors() *Projectors {
 	if ps := s.ps.Load(); ps != nil {
 		return ps
 	}
-	return &Projectors{}
+	return emptyProjectors
 }
 
 // Store atomically publishes a new projector set. Launches already in
@@ -141,14 +147,20 @@ func (s *SwapSource) Store(ps *Projectors) {
 
 // Tuner evaluates trained models at every kernel launch. A policy model,
 // a chunk model, or both may be installed; absent models leave the
-// corresponding parameter at its base value. The launch hot path is
-// lock-free: it reads the current projector set through one atomic load,
-// so concurrent contexts driving one tuner never contend, and a model
-// source may swap in a retrained model mid-run with no coordination.
+// corresponding parameter at its base value. The launch hot path
+// (Begin/End) carries //apollo:hotpath annotations, so apollo-vet
+// machine-checks what used to be prose here: no allocation, no mutex,
+// one atomic load of the projector set — concurrent contexts driving one
+// tuner never contend, and a model source may swap in a retrained model
+// mid-run with no coordination.
 type Tuner struct {
 	schema *features.Schema
 	ann    *caliper.Annotations
 	base   raja.Params
+
+	// scratch pools feature-vector buffers (len == schema.Len()) so
+	// Begin extracts without allocating.
+	scratch sync.Pool
 
 	own    SwapSource // backs UsePolicyModel / UseChunkModel
 	src    atomic.Pointer[sourceBox]
@@ -178,6 +190,10 @@ type sourceBox struct{ s ModelSource }
 // and blackboard, starting from base parameters.
 func NewTuner(schema *features.Schema, ann *caliper.Annotations, base raja.Params) *Tuner {
 	t := &Tuner{schema: schema, ann: ann, base: base}
+	t.scratch.New = func() any {
+		v := make([]float64, schema.Len())
+		return &v
+	}
 	t.src.Store(&sourceBox{s: &t.own})
 	return t
 }
@@ -220,12 +236,16 @@ func (t *Tuner) UseSource(src ModelSource) *Tuner {
 }
 
 // Begin extracts the launch's features, evaluates the installed models,
-// and returns the predicted parameters. It takes no locks: the scratch
-// vector is per-call, the projector pools its own buffers, and the
-// projector set is one atomic pointer load.
+// and returns the predicted parameters. It takes no locks and allocates
+// nothing: the scratch vector is pooled, the projector pools its own
+// buffers, and the projector set is one atomic pointer load.
+//
+//apollo:hotpath
 func (t *Tuner) Begin(k *raja.Kernel, iset *raja.IndexSet) (raja.Params, bool) {
 	t.decisions.Add(1)
-	x := t.schema.Extract(k, iset, t.ann)
+	xp := t.scratch.Get().(*[]float64)
+	defer t.scratch.Put(xp)
+	x := t.schema.ExtractInto(*xp, k, iset, t.ann)
 	params := t.base
 	ps := t.src.Load().s.Projectors()
 	if ps == nil {
@@ -259,6 +279,8 @@ func flipPolicy(p raja.Policy) raja.Policy {
 // With no recorder (or on the recorder's unsampled path) it performs a
 // couple of atomic operations and allocates nothing — End runs inside
 // every kernel launch, so this path must stay effectively free.
+//
+//apollo:hotpath
 func (t *Tuner) End(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, elapsedNS float64) {
 	if rec := t.telem.Load(); rec != nil {
 		rec.Record(k, iset, p, elapsedNS)
