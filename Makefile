@@ -2,18 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build lint test race bench results quick-results cover clean serve-smoke loop-smoke
+.PHONY: all build lint test race stress bench results quick-results cover clean serve-smoke loop-smoke
 
-all: build lint test
+all: build lint test race
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-# apollo-vet enforces the hot-path invariants (no-alloc, lock-free,
-# 386 atomic alignment, schema-hash drift) over the whole module, and
-# the 386 cross-build keeps the alignment analyzer honest against the
-# real compiler.
+# apollo-vet enforces the project invariants — hot-path no-alloc /
+# lock-free, 386 atomic alignment, schema-hash drift, lock-rank order,
+# goroutine-leak freedom, deterministic serialization, and live waivers
+# — over the whole module; the 386 cross-build keeps the alignment
+# analyzer honest against the real compiler.
 lint:
 	$(GO) run ./cmd/apollo-vet ./...
 	GOARCH=386 $(GO) build ./...
@@ -23,6 +24,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Scheduler stress: the closed-loop e2e scenario repeated under the
+# race detector across a GOMAXPROCS sweep, multiplying the goroutine
+# interleavings the single-shot race run explores.
+STRESS_COUNT ?= 3
+stress:
+	$(GO) test -race -count=$(STRESS_COUNT) -run 'ClosedLoop' .
 
 # One benchmark per paper table/figure plus overhead/ablation benches.
 bench:

@@ -2,19 +2,29 @@
 // over the module: hotpath (annotated hot paths must not allocate, lock,
 // or block), atomicalign (64-bit sync/atomic fields must be aligned on
 // 32-bit targets), lockscope (no blocking work while a mutex is held),
-// and schemahash (feature schemas must match their golden fingerprints).
+// schemahash (feature schemas must match their golden fingerprints),
+// lockorder (nested mutex acquisitions must follow declared
+// //apollo:lockrank order and stay acyclic), goleak (spawned goroutines
+// must have a guaranteed exit), detorder (map iteration must not feed
+// serialization or hashing), and waiverdrift (waiver and blocking
+// annotations must still be live).
 //
 // Usage:
 //
-//	apollo-vet [-analyzers hotpath,lockscope] [package-dir]
+//	apollo-vet [-analyzers hotpath,lockorder] [-json] [package-dir]
 //
 // The argument selects the module containing the packages to analyze
 // (default "."); the whole module is always loaded so cross-package call
 // chains resolve. Diagnostics print as file:line:col lines with the
-// violating call chain, and any finding exits non-zero.
+// violating call chain — or, with -json, as one JSON object per line
+// (file, line, col, analyzer, message, chain) for CI annotation
+// renderers. A final "N diagnostics from M analyzers" summary goes to
+// stderr on every path, including load failures. Any finding exits 1;
+// load or usage errors exit 2.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +32,20 @@ import (
 	"apollo/internal/analysis"
 )
 
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
+}
+
 func main() {
 	names := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line instead of the human format")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: apollo-vet [flags] [dir]\n\n"+
 			"Runs Apollo's static analyzers over the module containing dir.\n\n")
@@ -44,8 +65,11 @@ func main() {
 		var err error
 		analyzers, err = analysis.ByName(*names)
 		if err != nil {
-			fatal(err)
+			fatal(err, len(analysis.All()))
 		}
+	}
+	summary := func(found int) {
+		fmt.Fprintf(os.Stderr, "apollo-vet: %d diagnostics from %d analyzers\n", found, len(analyzers))
 	}
 
 	dir := "."
@@ -59,23 +83,40 @@ func main() {
 	}
 	root, err := analysis.FindModuleRoot(dir)
 	if err != nil {
-		fatal(err)
+		fatal(err, len(analyzers))
 	}
 	prog, err := analysis.Load(root)
 	if err != nil {
-		fatal(err)
+		fatal(err, len(analyzers))
 	}
 	diags := analysis.RunAll(prog, analyzers)
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if *jsonOut {
+			if err := enc.Encode(jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Chain:    d.Chain,
+			}); err != nil {
+				fatal(err, len(analyzers))
+			}
+			continue
+		}
 		fmt.Println(d.String())
 	}
+	summary(len(diags))
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "apollo-vet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 }
 
-func fatal(err error) {
+// fatal reports a driver error and still prints the summary line that
+// CI log scrapers key on, then exits 2.
+func fatal(err error, analyzers int) {
 	fmt.Fprintln(os.Stderr, "apollo-vet:", err)
+	fmt.Fprintf(os.Stderr, "apollo-vet: 0 diagnostics from %d analyzers\n", analyzers)
 	os.Exit(2)
 }

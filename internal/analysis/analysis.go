@@ -21,7 +21,19 @@
 //   - schemahash: feature-name lists referenced by an
 //     //apollo:schemahash directive must hash to the golden constant the
 //     directive annotates, so silently reordering the feature schema is
-//     a vet-time error instead of a serving-time mispredict.
+//     a vet-time error instead of a serving-time mispredict;
+//   - lockorder: nested mutex acquisitions must follow the ranks declared
+//     with //apollo:lockrank on the mutex declarations (lock identity is
+//     the package-qualified field or variable), and the global
+//     acquisition graph must be acyclic;
+//   - goleak: spawned goroutines must have a guaranteed exit (no
+//     condition-less loop without return/break, no empty select, no bare
+//     send on an unbuffered channel) and sound WaitGroup use;
+//   - detorder: range-over-map bodies must not feed serialization,
+//     hashing, or encoding sinks (nondeterministic model bytes);
+//   - waiverdrift: every waiver directive must still suppress at least
+//     one diagnostic, and //apollo:blocking functions must actually be
+//     able to block, so the annotation contract cannot rot.
 //
 // Annotation contract (all are line comments, no space after //):
 //
@@ -36,6 +48,13 @@
 //	                                   function or statement; reason required
 //	//apollo:schemahash <list> ...     golden schema fingerprint constant;
 //	                                   args name the feature lists hashed
+//	//apollo:lockrank <N>              on a sync.Mutex/RWMutex field or
+//	                                   var declaration: nested acquisitions
+//	                                   must strictly increase the rank
+//	//apollo:goleakok <reason>         suppress a goleak finding on this
+//	                                   line (or the go statement's line)
+//	//apollo:detorderok <reason>       suppress a detorder finding on this
+//	                                   line (range or sink); reason required
 package analysis
 
 import (
@@ -77,7 +96,8 @@ type Analyzer struct {
 
 // All returns the full apollo-vet analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{HotPath, AtomicAlign, LockScope, SchemaHash}
+	return []*Analyzer{HotPath, AtomicAlign, LockScope, SchemaHash,
+		LockOrder, GoLeak, DetOrder, WaiverDrift}
 }
 
 // ByName returns the analyzers with the given comma-separated names.
@@ -144,6 +164,9 @@ const (
 	dirAllocOK    = "allocok"
 	dirLockOK     = "lockok"
 	dirSchemaHash = "schemahash"
+	dirLockRank   = "lockrank"
+	dirGoLeakOK   = "goleakok"
+	dirDetOrderOK = "detorderok"
 )
 
 // directive is one parsed //apollo:* comment.
@@ -175,12 +198,19 @@ func parseDirectives(groups ...*ast.CommentGroup) []directive {
 // funcDirective reports whether fn's doc comment carries the named
 // directive, returning its arguments.
 func funcDirective(fn *ast.FuncDecl, name string) (string, bool) {
+	args, _, ok := funcDirectivePos(fn, name)
+	return args, ok
+}
+
+// funcDirectivePos is funcDirective plus the directive comment's
+// position, which waiver-use tracking keys on.
+func funcDirectivePos(fn *ast.FuncDecl, name string) (string, token.Pos, bool) {
 	for _, d := range parseDirectives(fn.Doc) {
 		if d.name == name {
-			return d.args, true
+			return d.args, d.pos, true
 		}
 	}
-	return "", false
+	return "", token.NoPos, false
 }
 
 // lineDirectives indexes every //apollo:* directive in a file by the
@@ -196,13 +226,61 @@ func lineDirectives(fset *token.FileSet, file *ast.File) map[int][]directive {
 	return out
 }
 
+// lineDirectiveAt returns the named directive (with a non-empty reason)
+// on the line of pos.
+func lineDirectiveAt(lines map[int][]directive, fset *token.FileSet, pos token.Pos, name string) (directive, bool) {
+	for _, d := range lines[fset.Position(pos).Line] {
+		if d.name == name && d.args != "" {
+			return d, true
+		}
+	}
+	return directive{}, false
+}
+
 // hasLineDirective reports whether the line of pos carries the named
 // directive with a non-empty reason.
 func hasLineDirective(lines map[int][]directive, fset *token.FileSet, pos token.Pos, name string) bool {
-	for _, d := range lines[fset.Position(pos).Line] {
-		if d.name == name && d.args != "" {
-			return true
-		}
+	_, ok := lineDirectiveAt(lines, fset, pos, name)
+	return ok
+}
+
+// suppressedBy reports whether a directive on pos's line waives a
+// finding, recording the suppression in uses (which may be nil) so
+// waiverdrift can tell live waivers from stale ones.
+func suppressedBy(lines map[int][]directive, fset *token.FileSet, pos token.Pos, name string, uses *waiverUse) bool {
+	d, ok := lineDirectiveAt(lines, fset, pos, name)
+	if ok {
+		uses.mark(d.pos)
 	}
-	return false
+	return ok
+}
+
+// waiverUse records which waiver directives actually suppressed a
+// diagnostic, keyed by the directive comment's position. A nil tracker
+// is valid and records nothing, so analyzers behave identically with
+// and without tracking. mark is safe for concurrent analyzer goroutines.
+type waiverUse struct {
+	mu   sync.Mutex
+	used map[token.Pos]bool
+}
+
+func (w *waiverUse) mark(pos token.Pos) {
+	if w == nil || !pos.IsValid() {
+		return
+	}
+	w.mu.Lock()
+	if w.used == nil {
+		w.used = map[token.Pos]bool{}
+	}
+	w.used[pos] = true
+	w.mu.Unlock()
+}
+
+func (w *waiverUse) isUsed(pos token.Pos) bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.used[pos]
 }

@@ -18,6 +18,12 @@ type funcInfo struct {
 	blocking bool
 	cold     bool
 	lockOK   bool
+
+	// Directive comment positions, for waiver-use tracking (NoPos when
+	// the directive is absent).
+	blockingPos token.Pos
+	coldPos     token.Pos
+	lockOKPos   token.Pos
 }
 
 // graph indexes every module function and resolves call sites through
@@ -47,12 +53,14 @@ func buildGraph(prog *Program) *graph {
 				}
 				fi := &funcInfo{obj: obj, decl: fd, pkg: pkg, file: file}
 				_, fi.hot = funcDirective(fd, dirHotPath)
-				_, fi.blocking = funcDirective(fd, dirBlocking)
-				if args, ok := funcDirective(fd, dirColdPath); ok && args != "" {
+				_, fi.blockingPos, fi.blocking = funcDirectivePos(fd, dirBlocking)
+				if args, pos, ok := funcDirectivePos(fd, dirColdPath); ok && args != "" {
 					fi.cold = true
+					fi.coldPos = pos
 				}
-				if args, ok := funcDirective(fd, dirLockOK); ok && args != "" {
+				if args, pos, ok := funcDirectivePos(fd, dirLockOK); ok && args != "" {
 					fi.lockOK = true
+					fi.lockOKPos = pos
 				}
 				g.funcs[obj] = fi
 			}

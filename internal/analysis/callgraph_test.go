@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// loadTestModule writes the given files (paths relative to the module
+// root, which gets a go.mod) into a temp dir and loads them as a
+// program.
+func loadTestModule(t *testing.T, module string, files map[string]string) *Program {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = fmt.Sprintf("module %s\n\ngo 1.22\n", module)
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog, err := Load(dir)
+	if err != nil {
+		t.Fatalf("load test module: %v", err)
+	}
+	return prog
+}
+
+// resolvedCallees resolves every call expression inside the named
+// top-level function and renders each target as "display" for static
+// calls or "display via iface" for interface dispatch. External
+// (out-of-module) targets render as "ext:display".
+func resolvedCallees(t *testing.T, g *graph, fnName string) []string {
+	t.Helper()
+	var fi *funcInfo
+	for obj, f := range g.funcs {
+		if obj.Name() == fnName && f.decl.Recv == nil {
+			fi = f
+		}
+	}
+	if fi == nil {
+		t.Fatalf("function %s not found in test module", fnName)
+	}
+	bindings := methodBindings(fi.pkg, fi.decl.Body)
+	var out []string
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callees, ext := g.resolve(fi.pkg, bindings, call)
+		for _, c := range callees {
+			s := displayName(c.fn.obj)
+			if c.viaInterface != "" {
+				s += " via " + c.viaInterface
+			}
+			out = append(out, s)
+		}
+		if ext != nil {
+			out = append(out, "ext:"+displayName(ext))
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// TestCallGraphDispatch pins the resolver's behavior on the dispatch
+// shapes the concurrency analyzers depend on: embedded interfaces,
+// promoted methods, and method values bound locally, taken through an
+// interface, or passed as arguments (where the dynamic invocation
+// inside the callee is deliberately unresolved).
+func TestCallGraphDispatch(t *testing.T) {
+	const src = `package disp
+
+import "strings"
+
+type closer interface{ Close() }
+
+// flusher embeds closer: a call through flusher must still reach every
+// concrete Close in the module.
+type flusher interface {
+	closer
+	Flush()
+}
+
+type file struct{ n int }
+
+func (f *file) Close() {}
+func (f *file) Flush() {}
+
+// pipe implements closer but not flusher.
+type pipe struct{}
+
+func (pipe) Close() {}
+
+type base struct{}
+
+func (b base) ping() {}
+
+// wrap promotes base.ping into its own method set.
+type wrap struct{ base }
+
+func EmbeddedIface(fl flusher) {
+	fl.Close()
+	fl.Flush()
+}
+
+func NarrowIface(c closer) {
+	c.Close()
+}
+
+func Promoted(w wrap) {
+	w.ping()
+}
+
+func BoundMethodValue(f *file) {
+	g := f.Close
+	g()
+}
+
+func BoundIfaceMethodValue(c closer) {
+	g := c.Close
+	g()
+}
+
+func apply(g func()) { g() }
+
+func PassedMethodValue(f *file) {
+	apply(f.Close)
+}
+
+func External(s string) string {
+	return strings.ToUpper(s)
+}
+`
+	prog := loadTestModule(t, "disp", map[string]string{"disp.go": src})
+	g := buildGraph(prog)
+
+	tests := []struct {
+		fn   string
+		want []string
+	}{
+		{
+			// Embedded interface: Close comes from the embedded closer,
+			// but dispatch is through flusher, so only flusher
+			// implementers are targets (pipe has no Flush).
+			fn: "EmbeddedIface",
+			want: []string{
+				"(*disp.file).Close via disp.flusher",
+				"(*disp.file).Flush via disp.flusher",
+			},
+		},
+		{
+			// The narrower interface reaches both implementations.
+			fn: "NarrowIface",
+			want: []string{
+				"(*disp.file).Close via disp.closer",
+				"(disp.pipe).Close via disp.closer",
+			},
+		},
+		{
+			// Promoted method: w.ping resolves to the embedded base's
+			// declaration, statically.
+			fn:   "Promoted",
+			want: []string{"(disp.base).ping"},
+		},
+		{
+			// g := f.Close; g(): the local binding resolves statically.
+			fn:   "BoundMethodValue",
+			want: []string{"(*disp.file).Close"},
+		},
+		{
+			// g := c.Close through an interface variable: the binding
+			// records the interface method, and the call dispatches onto
+			// every implementation.
+			fn: "BoundIfaceMethodValue",
+			want: []string{
+				"(*disp.file).Close via disp.closer",
+				"(disp.pipe).Close via disp.closer",
+			},
+		},
+		{
+			// apply(f.Close): only the call to apply itself resolves.
+			// The method value crosses the call boundary as data; g()
+			// inside apply is dynamic and intentionally unresolved, so
+			// analyzers stay conservative instead of guessing.
+			fn:   "PassedMethodValue",
+			want: []string{"disp.apply"},
+		},
+		{
+			// An out-of-module target surfaces as the external object
+			// for banned/blocking-call checks.
+			fn:   "External",
+			want: []string{"ext:strings.ToUpper"},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.fn, func(t *testing.T) {
+			got := resolvedCallees(t, g, tc.fn)
+			if len(got) != len(tc.want) {
+				t.Fatalf("%s resolved %v, want %v", tc.fn, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("%s resolved %v, want %v", tc.fn, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestCallGraphDynamicCalleeUnresolved pins that a function-typed
+// parameter invoked inside its own function produces no targets: the
+// resolver must not fabricate edges it cannot prove.
+func TestCallGraphDynamicCalleeUnresolved(t *testing.T) {
+	prog := loadTestModule(t, "dyn", map[string]string{"dyn.go": `package dyn
+
+func apply(g func()) { g() }
+`})
+	g := buildGraph(prog)
+	if got := resolvedCallees(t, g, "apply"); len(got) != 0 {
+		t.Fatalf("dynamic call resolved to %v, want nothing", got)
+	}
+}

@@ -23,6 +23,13 @@ var HotPath = &Analyzer{
 }
 
 func runHotPath(prog *Program) []Diagnostic {
+	return runHotPathTracked(prog, nil)
+}
+
+// runHotPathTracked is runHotPath with waiver-use tracking: every
+// //apollo:allocok that suppresses a finding and every //apollo:coldpath
+// that stops a traversal is recorded in uses (nil disables tracking).
+func runHotPathTracked(prog *Program, uses *waiverUse) []Diagnostic {
 	g := buildGraph(prog)
 	var roots []*funcInfo
 	for _, fi := range g.funcs {
@@ -32,7 +39,7 @@ func runHotPath(prog *Program) []Diagnostic {
 	}
 	sort.Slice(roots, func(i, j int) bool { return roots[i].decl.Pos() < roots[j].decl.Pos() })
 
-	h := &hotWalker{g: g, visited: map[*types.Func]bool{}}
+	h := &hotWalker{g: g, visited: map[*types.Func]bool{}, uses: uses}
 	for _, root := range roots {
 		h.walk(root, nil)
 	}
@@ -42,6 +49,7 @@ func runHotPath(prog *Program) []Diagnostic {
 type hotWalker struct {
 	g       *graph
 	visited map[*types.Func]bool
+	uses    *waiverUse
 	diags   []Diagnostic
 }
 
@@ -74,7 +82,7 @@ func (h *hotWalker) walk(fi *funcInfo, chain []string) {
 		})
 	}
 	allocOK := func(pos token.Pos) bool {
-		return hasLineDirective(lines, fset, pos, dirAllocOK)
+		return suppressedBy(lines, fset, pos, dirAllocOK, h.uses)
 	}
 
 	var edges []hotEdge
@@ -205,6 +213,7 @@ func (h *hotWalker) checkCall(fi *funcInfo, call *ast.CallExpr, parents map[ast.
 			continue
 		}
 		if c.fn.cold {
+			h.uses.mark(c.fn.coldPos)
 			continue
 		}
 		*edges = append(*edges, hotEdge{target: c.fn, via: c.viaInterface})

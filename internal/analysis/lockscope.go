@@ -24,15 +24,32 @@ var LockScope = &Analyzer{
 }
 
 func runLockScope(prog *Program) []Diagnostic {
+	return runLockScopeTracked(prog, nil)
+}
+
+// runLockScopeTracked is runLockScope with waiver-use tracking. With a
+// non-nil uses, functions waived with //apollo:lockok are scanned anyway
+// — their findings are discarded, but producing any marks the waiver as
+// live; the same applies to statement- and line-level lockok waivers.
+func runLockScopeTracked(prog *Program, uses *waiverUse) []Diagnostic {
 	g := buildGraph(prog)
-	s := &lockScanner{g: g, summaries: map[*types.Func]*blockFact{}, visiting: map[*types.Func]bool{}}
+	s := &lockScanner{g: g, summaries: map[*types.Func]*blockFact{}, visiting: map[*types.Func]bool{}, uses: uses}
 	var fis []*funcInfo
 	for _, fi := range g.funcs {
 		fis = append(fis, fi)
 	}
 	sort.Slice(fis, func(i, j int) bool { return fis[i].decl.Pos() < fis[j].decl.Pos() })
 	for _, fi := range fis {
-		if fi.lockOK || fi.decl.Body == nil {
+		if fi.decl.Body == nil {
+			continue
+		}
+		if fi.lockOK {
+			if uses != nil {
+				pos := fi.lockOKPos
+				s.sink = func(Diagnostic) { uses.mark(pos) }
+				s.scanFunc(fi)
+				s.sink = nil
+			}
 			continue
 		}
 		s.scanFunc(fi)
@@ -51,7 +68,20 @@ type lockScanner struct {
 	g         *graph
 	summaries map[*types.Func]*blockFact
 	visiting  map[*types.Func]bool
-	diags     []Diagnostic
+	uses      *waiverUse
+	// sink, when set, consumes diagnostics instead of s.diags — the
+	// waiver-use tracking mode for //apollo:lockok'd regions.
+	sink  func(Diagnostic)
+	diags []Diagnostic
+}
+
+// emit routes one diagnostic to the active sink or the result list.
+func (s *lockScanner) emit(d Diagnostic) {
+	if s.sink != nil {
+		s.sink(d)
+		return
+	}
+	s.diags = append(s.diags, d)
 }
 
 // scanFunc walks one function's statement blocks tracking held locks.
@@ -87,9 +117,18 @@ func (s *lockScanner) scanStmts(fi *funcInfo, stmts []ast.Stmt, held map[string]
 			}
 		}
 		if len(held) > 0 {
-			if !hasLineDirective(lines, fset, stmt.Pos(), dirLockOK) {
-				s.checkHeld(fi, stmt, held, lines, bindings)
+			if d, ok := lineDirectiveAt(lines, fset, stmt.Pos(), dirLockOK); ok {
+				if s.uses != nil {
+					// Re-scan under a marking sink: the waiver is live
+					// only if it still suppresses something.
+					prev := s.sink
+					s.sink = func(Diagnostic) { s.uses.mark(d.pos) }
+					s.checkHeld(fi, stmt, held, lines, bindings)
+					s.sink = prev
+				}
+				continue
 			}
+			s.checkHeld(fi, stmt, held, lines, bindings)
 			continue
 		}
 		// Not holding a lock: descend into nested blocks (and function
@@ -113,10 +152,10 @@ func (s *lockScanner) checkHeld(fi *funcInfo, stmt ast.Stmt, held map[string]boo
 	heldDesc := strings.Join(heldNames, ", ")
 
 	report := func(pos token.Pos, msg string, chain []string) {
-		if hasLineDirective(lines, fset, pos, dirLockOK) {
+		if suppressedBy(lines, fset, pos, dirLockOK, s.uses) {
 			return
 		}
-		s.diags = append(s.diags, Diagnostic{
+		s.emit(Diagnostic{
 			Pos:      fset.Position(pos),
 			Analyzer: "lockscope",
 			Message:  fmt.Sprintf("%s while %s is held", msg, heldDesc),
@@ -270,27 +309,38 @@ func deferLockOp(pkg *Package, d *ast.DeferStmt) (recv, op string, ok bool) {
 }
 
 func lockCall(pkg *Package, e ast.Expr) (recv, op string, ok bool) {
+	expr, op, ok := lockCallExpr(pkg, e)
+	if !ok {
+		return "", "", false
+	}
+	return types.ExprString(expr), op, true
+}
+
+// lockCallExpr is lockCall returning the receiver expression itself,
+// which lockorder resolves to a lock identity (field or variable object)
+// instead of a rendered string.
+func lockCallExpr(pkg *Package, e ast.Expr) (recv ast.Expr, op string, ok bool) {
 	call, isCall := ast.Unparen(e).(*ast.CallExpr)
 	if !isCall {
-		return "", "", false
+		return nil, "", false
 	}
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel {
-		return "", "", false
+		return nil, "", false
 	}
 	obj, isFunc := pkg.Info.Uses[sel.Sel].(*types.Func)
 	if !isFunc || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
-		return "", "", false
+		return nil, "", false
 	}
 	base := receiverBaseName(obj)
 	if base != "Mutex" && base != "RWMutex" {
-		return "", "", false
+		return nil, "", false
 	}
 	switch obj.Name() {
 	case "Lock", "RLock", "Unlock", "RUnlock":
-		return types.ExprString(sel.X), obj.Name(), true
+		return sel.X, obj.Name(), true
 	}
-	return "", "", false
+	return nil, "", false
 }
 
 // childBlocks returns the statement lists nested directly inside a

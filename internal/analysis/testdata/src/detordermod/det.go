@@ -1,0 +1,108 @@
+// Package detordermod is the detorder-analyzer corpus: map iteration
+// feeding serializers, writers, and hashes, the sorted-keys idiom, and
+// detorderok waivers.
+package detordermod
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// Serializing per-key inside a map range emits bytes in a different
+// order every run.
+func MarshalPerKey(m map[string]int) [][]byte {
+	var out [][]byte
+	for k, v := range m {
+		b, _ := json.Marshal(map[string]int{k: v}) // want `map iteration order feeds encoding/json\.Marshal: output bytes differ between runs; iterate a sorted key slice instead`
+		out = append(out, b)
+	}
+	return out
+}
+
+// Hash state is order-sensitive: feeding it from a map range makes the
+// fingerprint nondeterministic.
+func HashKeys(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k)) // want `map iteration order feeds \(io\.Writer\)\.Write: output bytes differ between runs; iterate a sorted key slice instead`
+	}
+	return h.Sum64()
+}
+
+// Stream writes accumulate in iteration order.
+func DumpConfig(w io.Writer, cfg map[string]string) {
+	for k, v := range cfg {
+		fmt.Fprintf(w, "%s=%s\n", k, v) // want `map iteration order feeds fmt\.Fprintf`
+	}
+}
+
+func BufferJoin(m map[string]bool) string {
+	var b bytes.Buffer
+	for k := range m {
+		b.WriteString(k) // want `map iteration order feeds \(\*bytes\.Buffer\)\.WriteString`
+	}
+	return b.String()
+}
+
+// A module-internal function whose name marks it as an encoder counts
+// as a sink too.
+func encodeRow(k string, v int) []byte { return []byte(fmt.Sprintf("%s=%d", k, v)) }
+
+func EncodeAll(m map[string]int) [][]byte {
+	var out [][]byte
+	for k, v := range m {
+		out = append(out, encodeRow(k, v)) // want `map iteration order feeds detordermod\.encodeRow`
+	}
+	return out
+}
+
+// The idiomatic fix: collect keys, sort, iterate the slice. The only
+// call inside the map range is append — not a sink.
+func SortedDump(w io.Writer, cfg map[string]string) {
+	keys := make([]string, 0, len(cfg))
+	for k := range cfg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%s\n", k, cfg[k])
+	}
+}
+
+// Accumulating into another map is order-insensitive: clean.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// fmt.Sprintf is not a sink: the value may be sorted or compared later.
+func Render(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+// A deliberately order-insensitive sink is waived on the sink line...
+func SumValues(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for _, v := range m {
+		h.Write([]byte{byte(v)}) //apollo:detorderok commutative xor-style accumulation tested elsewhere
+	}
+	return h.Sum64()
+}
+
+// ...or on the range line, covering every sink in the body.
+func DebugDump(w io.Writer, m map[string]int) {
+	for k, v := range m { //apollo:detorderok debug output, order is irrelevant
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,3 @@
+module detordermod
+
+go 1.22

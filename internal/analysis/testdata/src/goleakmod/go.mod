@@ -1,0 +1,3 @@
+module goleakmod
+
+go 1.22

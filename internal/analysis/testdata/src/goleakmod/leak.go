@@ -1,0 +1,194 @@
+// Package goleakmod is the goleak-analyzer corpus: endless loops,
+// abandoned channel sends and receives, WaitGroup misuse, named-callee
+// goroutines, and goleakok waivers.
+package goleakmod
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// A condition-less loop with no stop case runs until process exit.
+func EndlessLoop() {
+	go func() {
+		for { // want `goroutine loops forever: no return, break, or terminating call leaves this loop \(missing stop channel or context case\)`
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// A select with a context case gives the loop an exit: clean.
+func LoopWithStop(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// Breaking out of the loop (at the loop's own depth) is an exit: clean.
+func LoopWithBreak(done chan struct{}) {
+	go func() {
+		for {
+			if _, ok := <-done; !ok {
+				break
+			}
+		}
+	}()
+}
+
+func EmptySelect() {
+	go func() {
+		select {} // want `empty select blocks this goroutine forever`
+	}()
+}
+
+// The classic timeout-abandonment leak: the spawner only receives
+// behind a select that can take the timeout case instead, after which
+// nobody ever drains the unbuffered channel.
+func TimeoutAbandon() error {
+	errc := make(chan error)
+	go func() {
+		errc <- work() // want `send on unbuffered channel errc can leak this goroutine: the spawner only receives behind a select that can take another case; buffer the channel or select on a stop signal`
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(time.Millisecond):
+		return context.DeadlineExceeded
+	}
+}
+
+// Buffering the channel makes the send non-blocking: clean.
+func TimeoutBuffered() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(time.Millisecond):
+		return context.DeadlineExceeded
+	}
+}
+
+// An unconditional receive in the spawner always drains the send: clean.
+func BareReceive() error {
+	errc := make(chan error)
+	go func() {
+		errc <- work()
+	}()
+	return <-errc
+}
+
+// The spawner never sends on or closes the channel the goroutine
+// receives from.
+func ForgottenSender() {
+	ready := make(chan struct{})
+	go func() {
+		<-ready // want `receive on channel ready that the spawner never sends to or closes: this goroutine blocks forever`
+		work()
+	}()
+}
+
+// Closing the channel releases the receiver: clean.
+func ClosedSender() {
+	ready := make(chan struct{})
+	go func() {
+		<-ready
+		work()
+	}()
+	close(ready)
+}
+
+// A channel handed to another function escapes the analysis: clean
+// (the callee may send).
+func EscapedChannel() {
+	ready := make(chan struct{})
+	go func() {
+		<-ready
+	}()
+	armed(ready)
+}
+
+func armed(ch chan struct{}) { close(ch) }
+
+// Add must happen before the spawn; inside the goroutine it races with
+// Wait. And a non-deferred Done in a body with early returns is skipped
+// on those returns.
+func WaitGroupMisuse(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want `sync\.WaitGroup\.Add inside the spawned goroutine races with Wait; call Add before the go statement`
+		defer wg.Done()
+		work()
+	}()
+
+	wg.Add(1)
+	go func() {
+		if work() != nil {
+			return
+		}
+		wg.Done() // want `sync\.WaitGroup\.Done is not deferred but the goroutine has return statements: an early return skips Done and Wait blocks forever`
+	}()
+
+	// Deferred Done covers every return path: clean.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if work() != nil {
+			return
+		}
+		work()
+	}()
+}
+
+// `go f(...)` on a module function checks f's body once; the finding
+// lands inside drain.
+func SpawnNamed() {
+	go drain()
+}
+
+func drain() {
+	for { // want `goroutine loops forever: no return, break, or terminating call leaves this loop \(missing stop channel or context case\)`
+		time.Sleep(time.Second)
+	}
+}
+
+// Range over a channel terminates when the channel is closed: clean.
+func RangeOverChannel(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// A deliberate forever-goroutine is waived on the construct's line.
+func WaivedForever() {
+	go func() {
+		for { //apollo:goleakok heartbeat runs for the process lifetime
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// ...or on the go statement's line.
+func WaivedAtSpawn() {
+	go spin() //apollo:goleakok busy-poll benchmark harness
+}
+
+func spin() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func work() error { return nil }

@@ -1,0 +1,151 @@
+// Package lockordermod is the lockorder-analyzer corpus: ranked and
+// unranked nested acquisitions, lock-order cycles, self-deadlocks, and
+// malformed rank declarations.
+package lockordermod
+
+import "sync"
+
+// A ranked pair acquired in strictly increasing order: clean.
+var (
+	//apollo:lockrank 10
+	muLow sync.Mutex
+	//apollo:lockrank 20
+	muHigh sync.Mutex
+)
+
+func RankedOK() {
+	muLow.Lock()
+	muHigh.Lock()
+	muHigh.Unlock()
+	muLow.Unlock()
+}
+
+// A second ranked pair nested only the wrong way round (a correct
+// nesting of the same pair would make the edge cyclic and mask the rank
+// diagnostic).
+var (
+	//apollo:lockrank 10
+	muInner sync.Mutex
+	//apollo:lockrank 20
+	muOuter sync.Mutex
+)
+
+func RankInversion() {
+	muOuter.Lock()
+	muInner.Lock() // want `acquires lockordermod\.muInner \(lockrank 10\) while holding lockordermod\.muOuter \(lockrank 20\): nested acquisitions must strictly increase the rank`
+	muInner.Unlock()
+	muOuter.Unlock()
+}
+
+// Unranked mutexes may not nest at all until an order is declared.
+var muA, muB sync.Mutex
+
+func UndeclaredNesting() {
+	muA.Lock()
+	muB.Lock() // want `nested lock acquisition without a declared order: holding lockordermod\.muA while acquiring lockordermod\.muB; annotate both mutexes with //apollo:lockrank`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// Two functions nesting a pair in opposite directions form a cycle; the
+// cycle is reported once per observed edge, suppressing the per-edge
+// order checks.
+var muX, muY sync.Mutex
+
+func XThenY() {
+	muX.Lock()
+	muY.Lock() // want `lock-order cycle: lockordermod\.muX -> lockordermod\.muY -> lockordermod\.muX`
+	muY.Unlock()
+	muX.Unlock()
+}
+
+func YThenX() {
+	muY.Lock()
+	muX.Lock() // want `lock-order cycle: lockordermod\.muY -> lockordermod\.muX -> lockordermod\.muY`
+	muX.Unlock()
+	muY.Unlock()
+}
+
+// Re-acquiring a lock that is already held deadlocks immediately.
+var muSelf sync.Mutex
+
+func SelfDeadlock() {
+	muSelf.Lock()
+	muSelf.Lock() // want `acquires lockordermod\.muSelf while it is already held \(self-deadlock\)`
+	muSelf.Unlock()
+}
+
+// Lock identity is the declared field: acquisitions through a method
+// are summarized transitively, so re-entering through a helper is the
+// same self-deadlock.
+type Box struct {
+	mu sync.Mutex //apollo:lockrank 30
+	n  int
+}
+
+func (b *Box) get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b *Box) Reenter() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.get() // want `call acquires lockordermod\.Box\.mu while it is already held \(self-deadlock\)`
+}
+
+// A call edge inherits the callee's acquisitions: holding the rank-50
+// lock while a helper takes the rank-40 lock inverts the order at the
+// call site.
+var (
+	//apollo:lockrank 40
+	muStore sync.Mutex
+	//apollo:lockrank 50
+	muCache sync.Mutex
+)
+
+func touchStore() {
+	muStore.Lock()
+	muStore.Unlock()
+}
+
+func CacheThenStore() {
+	muCache.Lock()
+	touchStore() // want `acquires lockordermod\.muStore \(lockrank 40\) while holding lockordermod\.muCache \(lockrank 50\)`
+	muCache.Unlock()
+}
+
+// Unlocking before the nested acquisition keeps the held set empty: no
+// edge, no diagnostic.
+func SequentialOK() {
+	muOuter.Lock()
+	muOuter.Unlock()
+	muInner.Lock()
+	muInner.Unlock()
+}
+
+// A function literal runs later with its own lock context: acquiring
+// inside it while the spawner holds a lock is not a nesting.
+func LitOK() {
+	muHigh.Lock()
+	f := func() {
+		muLow.Lock()
+		muLow.Unlock()
+	}
+	muHigh.Unlock()
+	f()
+}
+
+// The rank argument must parse as an integer.
+//
+//apollo:lockrank ten // want `malformed //apollo:lockrank "ten": argument must be an integer`
+var muBadRank sync.Mutex
+
+// Ranks belong on mutexes only.
+var counter int //apollo:lockrank 5 // want `//apollo:lockrank on counter, which is not a sync\.Mutex or sync\.RWMutex`
+
+func init() {
+	_ = counter
+	_ = muBadRank
+}

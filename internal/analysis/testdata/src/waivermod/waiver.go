@@ -1,0 +1,113 @@
+// Package waivermod is the waiverdrift-analyzer corpus: every waiver
+// and blocking annotation here is either live (suppresses a real
+// finding today — silent) or stale (suppresses nothing — reported).
+package waivermod
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+// Live allocok: the append would be a hotpath finding without it.
+//
+//apollo:hotpath
+func HotAppend(dst []byte, s string) []byte {
+	dst = append(dst, s...) //apollo:allocok pooled buffer sized by the caller
+	return dst
+}
+
+// Stale allocok: nothing on this line allocates on a hot path (the
+// function is not even hot).
+func ColdAppend(dst []byte, s string) []byte {
+	dst = append(dst, s...) //apollo:allocok pooled buffer // want `stale //apollo:allocok waiver: it no longer suppresses any diagnostic; delete it`
+	return dst
+}
+
+// Live line-level lockok: the read really does happen under mu.
+func ReadLocked() []byte {
+	mu.Lock()
+	defer mu.Unlock()
+	b, _ := os.ReadFile("state") //apollo:lockok snapshot read, bounded file
+	return b
+}
+
+// Stale function-level lockok: the body no longer blocks while locked.
+//
+//apollo:lockok the write moved out of the critical section // want `stale //apollo:lockok waiver: it no longer suppresses any diagnostic; delete it`
+func WriteUnlocked(b []byte) {
+	mu.Lock()
+	n := len(b)
+	mu.Unlock()
+	_ = os.WriteFile("state", b[:n], 0o644)
+}
+
+// Live coldpath: the hot root's traversal stops here.
+//
+//apollo:hotpath
+func HotLookup() *entry { return missFill() }
+
+//apollo:coldpath first-touch fill, amortized away
+func missFill() *entry { return &entry{} }
+
+// Stale coldpath: no hot path ever reaches this function.
+//
+//apollo:coldpath legacy startup shim // want `stale //apollo:coldpath waiver: it no longer suppresses any diagnostic; delete it`
+func orphanFill() *entry { return &entry{} }
+
+type entry struct{ n int }
+
+// Live goleakok: the heartbeat loop is flagged without it.
+func Heartbeat() {
+	go func() {
+		for { //apollo:goleakok heartbeat runs for the process lifetime
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// Stale goleakok: a ranged loop terminates on close; nothing to waive.
+func Drain(ch chan int) {
+	go func() {
+		for range ch { //apollo:goleakok drained at shutdown // want `stale //apollo:goleakok waiver: it no longer suppresses any diagnostic; delete it`
+		}
+	}()
+}
+
+// Live detorderok: the marshal inside the map range is a real finding.
+func DumpStats(m map[string]int) [][]byte {
+	var out [][]byte
+	for k, v := range m {
+		b, _ := json.Marshal(map[string]int{k: v}) //apollo:detorderok fed to an order-insensitive set diff
+		out = append(out, b)
+	}
+	return out
+}
+
+// Stale detorderok: iterating a slice is already deterministic.
+func DumpList(xs []int) [][]byte {
+	var out [][]byte
+	for _, v := range xs {
+		b, _ := json.Marshal(v) //apollo:detorderok sorted upstream // want `stale //apollo:detorderok waiver: it no longer suppresses any diagnostic; delete it`
+		out = append(out, b)
+	}
+	return out
+}
+
+// Truthful blocking: the receive really can block.
+//
+//apollo:blocking
+func Await(ch chan int) int { return <-ch }
+
+// Stale blocking: the body cannot block any more.
+//
+//apollo:blocking // want `stale //apollo:blocking on waivermod\.Calm: the body cannot block \(no channel op, lock, or blocking call\); remove the annotation`
+func Calm() int { return 1 }
+
+func init() {
+	_ = orphanFill
+	_ = WriteUnlocked
+}

@@ -69,7 +69,7 @@ type Client struct {
 	// models is copy-on-write behind an atomic pointer: Predict reads it
 	// on every launch decision, so the read path must not take mu. mu
 	// serializes writers (map growth and backoff bookkeeping) only.
-	mu     sync.Mutex
+	mu     sync.Mutex //apollo:lockrank 10
 	models atomic.Pointer[map[string]*modelState]
 
 	// memo is the published decision memo (ETag+vector -> class),
@@ -78,7 +78,7 @@ type Client struct {
 	// batching new decisions; it is folded into the published map every
 	// memoPromoteBatch entries, so the per-miss cost is a short mutex
 	// and the per-hit cost is one atomic load.
-	memoMu    sync.Mutex
+	memoMu    sync.Mutex //apollo:lockrank 11
 	memo      atomic.Pointer[map[string]int]
 	memoDirty map[string]int
 
@@ -422,7 +422,7 @@ var keyPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }
 func appendMemoKey(b []byte, etag string, x []float64) []byte {
 	b = append(b, etag...) //apollo:allocok appends into a pooled 512-byte buffer sized for ETag + Table-I vector
 	for _, v := range x {
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v)) //apollo:allocok pooled buffer, see keyPool
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 	}
 	return b
 }

@@ -28,7 +28,7 @@ type Source struct {
 
 	ps atomic.Pointer[tuner.Projectors]
 
-	mu         sync.Mutex
+	mu         sync.Mutex //apollo:lockrank 13
 	policyVer  int
 	policyHash string
 	chunkVer   int

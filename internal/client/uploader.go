@@ -61,7 +61,7 @@ type Uploader struct {
 	rec   *telemetry.Recorder
 	max   int
 
-	mu       sync.Mutex
+	mu       sync.Mutex //apollo:lockrank 12
 	pending  *dataset.Frame
 	failures int
 	nextTry  time.Time

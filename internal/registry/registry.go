@@ -53,7 +53,8 @@ type Entry struct {
 type Registry struct {
 	dir string // "" = memory-only
 
-	mu      sync.Mutex // guards publishes and the byName map identity
+	// mu guards publishes and the byName map identity.
+	mu      sync.Mutex //apollo:lockrank 30
 	byName  atomic.Pointer[map[string]*atomic.Pointer[Entry]]
 	watched map[string]fileState // path -> last seen state, used by the watcher
 	logf    func(format string, args ...any)

@@ -44,13 +44,15 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 
-	cacheMu sync.RWMutex
+	cacheMu sync.RWMutex //apollo:lockrank 20
 	// decision memo: ETag + vector bytes -> predicted class.
 	decisions map[string]int
 
-	// telemetry ingestion (off when telemetryDir is empty).
+	// telemetry ingestion (off when telemetryDir is empty). spoolMu
+	// nests outside each Spool's own mutex (CloseSpools seals segments
+	// while holding it), hence the lower rank.
 	telemetryDir string
-	spoolMu      sync.Mutex
+	spoolMu      sync.Mutex //apollo:lockrank 21
 	spools       map[string]*telemetry.Spool
 }
 

@@ -50,7 +50,7 @@ type Spool struct {
 	dir      string
 	maxBytes int64
 
-	mu       sync.Mutex
+	mu       sync.Mutex //apollo:lockrank 40
 	columns  []string
 	seq      int
 	f        *os.File
@@ -251,7 +251,7 @@ func readSegmentColumns(path string) ([]string, error) {
 type Cursor struct {
 	dir string
 
-	mu      sync.Mutex
+	mu      sync.Mutex //apollo:lockrank 41
 	offsets map[int]int64
 	columns []string
 }

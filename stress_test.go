@@ -1,0 +1,33 @@
+package apollo_test
+
+// Scheduler stress for the closed training loop: the same end-to-end
+// scenario as TestClosedLoopRetrainsAndHotSwapsMidRun, swept across
+// GOMAXPROCS settings so the race detector sees the interleavings a
+// single setting would hide — the poller swapping projectors mid-launch,
+// the uploader draining the recorder while the tuner records, and the
+// trainer tailing the spool the server is still writing. CI runs this
+// under -race with -count to multiply the schedules explored.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func TestClosedLoopSchedulerStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full closed-loop pass per GOMAXPROCS setting")
+	}
+	procs := []int{1, 2, runtime.NumCPU()}
+	if procs[2] <= 2 {
+		procs = procs[:2]
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, p := range procs {
+		t.Run(fmt.Sprintf("GOMAXPROCS=%d", p), func(t *testing.T) {
+			runtime.GOMAXPROCS(p)
+			runClosedLoopScenario(t)
+		})
+	}
+}
