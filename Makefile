@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build lint test race stress bench results quick-results cover clean serve-smoke loop-smoke
+.PHONY: all build lint test race stress bench results quick-results cover clean serve-smoke loop-smoke flight-smoke
 
-all: build lint test race
+all: build lint test race flight-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,12 @@ serve-smoke:
 # and the running tuner hot-swaps to it before exiting.
 loop-smoke:
 	GO="$(GO)" ./scripts/loop_smoke.sh
+
+# End-to-end smoke test of the flight recorder: capture a timed Chrome
+# trace and a decision capture from the live debug endpoints of running
+# daemons, then validate both with apollo-inspect.
+flight-smoke:
+	GO="$(GO)" ./scripts/flight_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,11 +1,13 @@
-// Command apollo-inspect examines a trained model JSON file: its
-// parameter, feature schema, tree structure, feature importances, the
-// rendered decision tree, and (optionally) the generated Go decision
-// function — the artifacts an application team reviews before deploying
-// a model.
+// Command apollo-inspect examines Apollo artifacts offline: trained
+// model JSON files and flight-recorder output from the live debug
+// endpoints.
 //
-//	apollo-inspect -model policy.json
+//	apollo-inspect -model policy.json            inspect a model
 //	apollo-inspect -model policy.json -gen -depth 3
+//	apollo-inspect flight -in capture.json       misprediction table +
+//	                                             decision-path histogram
+//	apollo-inspect flight -url http://127.0.0.1:9999/debug/apollo/flight
+//	apollo-inspect trace -in trace.json          validate a Chrome trace
 package main
 
 import (
@@ -18,15 +20,39 @@ import (
 )
 
 func main() {
-	model := flag.String("model", "", "model JSON path (required)")
-	gen := flag.Bool("gen", false, "print the generated Go decision function")
-	depth := flag.Int("depth", 0, "render the tree pruned to this depth (0 = full)")
-	flag.Parse()
-
-	if err := run(*model, *gen, *depth); err != nil {
+	if len(os.Args) > 1 {
+		var err error
+		switch os.Args[1] {
+		case "flight":
+			err = runFlightCmd(os.Args[2:])
+		case "trace":
+			err = runTraceCmd(os.Args[2:])
+		default:
+			err = runModelCmd(os.Args[1:])
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apollo-inspect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runModelCmd(nil); err != nil {
 		fmt.Fprintln(os.Stderr, "apollo-inspect:", err)
 		os.Exit(1)
 	}
+}
+
+// runModelCmd keeps the original flag-based model inspection as the
+// default when no subcommand is given.
+func runModelCmd(args []string) error {
+	fs := flag.NewFlagSet("apollo-inspect", flag.ContinueOnError)
+	model := fs.String("model", "", "model JSON path (required)")
+	gen := fs.Bool("gen", false, "print the generated Go decision function")
+	depth := fs.Int("depth", 0, "render the tree pruned to this depth (0 = full)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return run(*model, *gen, *depth)
 }
 
 func run(path string, gen bool, depth int) error {

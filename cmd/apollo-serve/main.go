@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"apollo/internal/flight"
 	"apollo/internal/registry"
 	"apollo/internal/server"
 )
@@ -37,20 +38,23 @@ func main() {
 	dir := flag.String("dir", "apollo-models", "registry directory (versioned model files)")
 	poll := flag.Duration("poll", 2*time.Second, "watcher poll interval for external model-file changes (0 disables)")
 	telemetry := flag.String("telemetry", "", "telemetry spool directory; enables POST /telemetry ingestion")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/apollo/{flight,trace} and pprof on this separate address (empty disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *dir, *telemetry, *poll, nil); err != nil {
+	if err := run(ctx, *addr, *dir, *telemetry, *debugAddr, *poll, nil, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "apollo-serve:", err)
 		os.Exit(1)
 	}
 }
 
-// run serves until ctx is canceled. ready, if non-nil, is called with the
-// bound listener address once the server is accepting connections (tests
-// and port-0 wrappers use it to learn the actual port).
-func run(ctx context.Context, addr, dir, telemetryDir string, poll time.Duration, ready func(net.Addr)) error {
+// run serves until ctx is canceled. ready and debugReady, if non-nil,
+// are called with the bound listener addresses once each server is
+// accepting connections (tests and port-0 wrappers use them to learn the
+// actual ports).
+func run(ctx context.Context, addr, dir, telemetryDir, debugAddr string, poll time.Duration,
+	ready, debugReady func(net.Addr)) error {
 	reg, err := registry.Open(dir)
 	if err != nil {
 		return err
@@ -72,6 +76,21 @@ func run(ctx context.Context, addr, dir, telemetryDir string, poll time.Duration
 		ln.Addr(), dir, reg.Len())
 	if ready != nil {
 		ready(ln.Addr())
+	}
+
+	if debugAddr != "" {
+		// The debug surface (flight recorder, pprof) lives on its own
+		// listener so operators can firewall it separately from the API.
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dln.Close()
+		fmt.Printf("apollo-serve: debug on http://%s/debug/apollo/flight\n", dln.Addr())
+		if debugReady != nil {
+			debugReady(dln.Addr())
+		}
+		go http.Serve(dln, flight.DebugMux(srv.Flight()))
 	}
 
 	go reg.Watch(ctx, poll, func(n int) {

@@ -56,9 +56,11 @@ func TestServeEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	ctx, cancel := context.WithCancel(context.Background())
 	addrs := make(chan net.Addr, 1)
+	debugAddrs := make(chan net.Addr, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, "127.0.0.1:0", dir, "", 5*time.Millisecond, func(a net.Addr) { addrs <- a })
+		errc <- run(ctx, "127.0.0.1:0", dir, "", "127.0.0.1:0", 5*time.Millisecond,
+			func(a net.Addr) { addrs <- a }, func(a net.Addr) { debugAddrs <- a })
 	}()
 	var base string
 	select {
@@ -68,6 +70,13 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("server exited before ready: %v", err)
 	case <-time.After(10 * time.Second):
 		t.Fatal("server never became ready")
+	}
+	var debugBase string
+	select {
+	case a := <-debugAddrs:
+		debugBase = "http://" + a.String()
+	case <-time.After(10 * time.Second):
+		t.Fatal("debug listener never became ready")
 	}
 
 	// Liveness.
@@ -135,11 +144,78 @@ func TestServeEndToEnd(t *testing.T) {
 		"apollo_predictions_total",
 		`apollo_model_version{model="serve/policy"} 1`,
 		"apollo_model_reloads_total 1",
+		"apollo_go_goroutines",
+		"apollo_go_heap_alloc_bytes",
+		"apollo_go_gc_cycles_total",
 	} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("metrics missing %q", want)
 		}
 	}
+
+	// The debug listener serves the flight recorder: the /predict above
+	// was a cache miss, so one decision record must be on file, with its
+	// trail explained against the model's schema.
+	resp, err = http.Get(debugBase + "/debug/apollo/flight")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("flight endpoint: %v %v", resp, err)
+	}
+	var capture struct {
+		Format  string `json:"format"`
+		Emitted uint64 `json:"emitted"`
+		Sites   []struct {
+			Name string `json:"name"`
+		} `json:"sites"`
+		Records []struct {
+			Site      string             `json:"site"`
+			Predicted int                `json:"predicted"`
+			Features  map[string]float64 `json:"features"`
+			Path      []string           `json:"path"`
+		} `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&capture); err != nil {
+		t.Fatalf("flight endpoint body: %v", err)
+	}
+	resp.Body.Close()
+	if capture.Format != "apollo-flight-v1" || capture.Emitted == 0 {
+		t.Fatalf("flight capture header wrong: %+v", capture)
+	}
+	foundPredict := false
+	for _, rec := range capture.Records {
+		if rec.Site == "serve/policy" && rec.Predicted == int(raja.SeqExec) &&
+			rec.Features["num_indices"] == 16 && len(rec.Path) > 0 {
+			foundPredict = true
+		}
+	}
+	if !foundPredict {
+		t.Errorf("no flight record for the /predict decision: %+v", capture.Records)
+	}
+
+	// Timed trace capture returns valid Chrome trace-event JSON.
+	resp, err = http.Get(debugBase + "/debug/apollo/trace?sec=0")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint: %v %v", resp, err)
+	}
+	var traceEvents []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&traceEvents); err != nil {
+		t.Fatalf("trace endpoint body not a trace JSON array: %v", err)
+	}
+	resp.Body.Close()
+	if resp, err = http.Get(debugBase + "/debug/apollo/trace?sec=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bogus sec accepted: %d", resp.StatusCode)
+		}
+	}
+
+	// pprof is live on the debug listener.
+	resp, err = http.Get(debugBase + "/debug/pprof/cmdline")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof: %v %v", resp, err)
+	}
+	resp.Body.Close()
 
 	// Clean shutdown on context cancel.
 	cancel()
@@ -154,7 +230,7 @@ func TestServeEndToEnd(t *testing.T) {
 }
 
 func TestServeRejectsBadListenAddr(t *testing.T) {
-	err := run(context.Background(), "256.0.0.1:http", t.TempDir(), "", 0, nil)
+	err := run(context.Background(), "256.0.0.1:http", t.TempDir(), "", "", 0, nil, nil)
 	if err == nil {
 		t.Fatal("bad listen address accepted")
 	}

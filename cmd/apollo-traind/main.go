@@ -19,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/http"
 	"os"
@@ -31,7 +32,8 @@ import (
 	"apollo/internal/core"
 	"apollo/internal/drift"
 	"apollo/internal/features"
-	"apollo/internal/server"
+	"apollo/internal/flight"
+	"apollo/internal/metrics"
 	"apollo/internal/telemetry"
 	"apollo/internal/trainer"
 )
@@ -44,6 +46,7 @@ func main() {
 	interval := flag.Duration("interval", 5*time.Second, "poll-check-retrain cadence")
 	once := flag.Bool("once", false, "run one step and exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on this address (empty disables)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/apollo/{flight,trace} and pprof on this address (empty disables)")
 	mispredict := flag.Float64("mispredict", 0.25, "mispredict-rate retrain threshold")
 	shift := flag.Float64("shift", 6, "feature-shift (z-score) retrain threshold")
 	minRows := flag.Int("min-rows", 8, "smallest labeled window worth judging")
@@ -54,15 +57,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, *serverURL, *spool, *model, *param, *interval, *once, *metricsAddr,
-		*mispredict, *shift, *minRows, *maxRegression, *holdout); err != nil {
+		*debugAddr, *mispredict, *shift, *minRows, *maxRegression, *holdout, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "apollo-traind:", err)
 		os.Exit(1)
 	}
 }
 
+// trainerSiteFeatures names the "feature vector" of a trainer step's
+// flight record: the loop state that drove the step's decision.
+var trainerSiteFeatures = []string{
+	"new_rows", "window_rows", "trigger", "retrained", "published", "version",
+}
+
 func run(ctx context.Context, serverURL, spool, model, param string, interval time.Duration,
-	once bool, metricsAddr string, mispredict, shift float64, minRows int,
-	maxRegression, holdout float64) error {
+	once bool, metricsAddr, debugAddr string, mispredict, shift float64, minRows int,
+	maxRegression, holdout float64, debugReady func(net.Addr)) error {
 	if model == "" {
 		return fmt.Errorf("-model is required")
 	}
@@ -97,7 +106,25 @@ func run(ctx context.Context, serverURL, spool, model, param string, interval ti
 		return err
 	}
 
-	metrics := server.NewMetrics()
+	met := metrics.New()
+	rc := metrics.NewRuntimeCollector(met)
+	fr := flight.New(flight.Options{Shards: 1, ShardCapacity: 256, FeatureNames: trainerSiteFeatures})
+	h := fnv.New64a()
+	h.Write([]byte("apollo-traind/" + model))
+	siteID := h.Sum64()
+	fr.RegisterSite(siteID, "traind:"+model, trainerSiteFeatures)
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dln.Close()
+		fmt.Printf("apollo-traind: debug on http://%s/debug/apollo/flight\n", dln.Addr())
+		if debugReady != nil {
+			debugReady(dln.Addr())
+		}
+		go http.Serve(dln, flight.DebugMux(fr))
+	}
 	if metricsAddr != "" {
 		ln, err := net.Listen("tcp", metricsAddr)
 		if err != nil {
@@ -106,20 +133,51 @@ func run(ctx context.Context, serverURL, spool, model, param string, interval ti
 		defer ln.Close()
 		mux := http.NewServeMux()
 		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			rc.Collect() // refresh goroutine/heap/GC-pause self-metrics
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			metrics.WritePrometheus(w)
+			met.WritePrometheus(w)
 		})
 		fmt.Printf("apollo-traind: metrics on http://%s/metrics\n", ln.Addr())
 		go http.Serve(ln, mux)
 	}
 
 	step := func() error {
+		t0 := flight.Now()
 		res, err := tr.Step()
+		stepNS := float64(flight.Now() - t0)
 		if err != nil {
 			return err
 		}
+		// Each loop step is one "decision" on the flight recorder: the
+		// features are the loop state, the class is whether a challenger
+		// was published, and the observed runtime is the step's cost.
+		b2f := func(b bool) float64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		class := 0
+		if res.Published {
+			class = 1
+		}
+		rec, tok := fr.Reserve(siteID)
+		if rec != nil {
+			rec.Policy = int32(class)
+			rec.Predicted = int32(class)
+			rec.NumFeatures = 6
+			rec.Features[0] = float64(res.NewRows)
+			rec.Features[1] = float64(res.WindowRows)
+			rec.Features[2] = b2f(res.Trigger != nil)
+			rec.Features[3] = b2f(res.Retrained)
+			rec.Features[4] = b2f(res.Published)
+			rec.Features[5] = float64(res.Version)
+			rec.ObservedNS = stepNS
+			rec.PredictedNS = fr.PredictObserve(siteID, class, stepNS)
+		}
+		fr.Commit(tok)
 		gauge := func(name, help string, v int64) {
-			metrics.GaugeSet(name, "model", model, help, v)
+			met.GaugeSet(name, "model", model, help, v)
 		}
 		gauge("apollo_trainer_window_rows", "Telemetry rows in the training window.", int64(res.WindowRows))
 		gauge("apollo_trainer_drift_triggers_total", "Drift triggers fired.", int64(tr.Triggers()))

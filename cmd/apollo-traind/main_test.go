@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestTraindDebugEndpoints boots the daemon against an empty spool (a
+// clean no-op loop) and exercises the debug listener: every loop step
+// lands on the flight recorder, the trace endpoint speaks Chrome
+// trace-event JSON, and pprof is live.
+func TestTraindDebugEndpoints(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	debugAddrs := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, "http://127.0.0.1:1", t.TempDir(), "loop/policy", "execution_policy",
+			10*time.Millisecond, false, "", "127.0.0.1:0",
+			0.25, 6, 8, 0.02, 0.25, func(a net.Addr) { debugAddrs <- a })
+	}()
+	var debugBase string
+	select {
+	case a := <-debugAddrs:
+		debugBase = "http://" + a.String()
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("debug listener never became ready")
+	}
+
+	// Each loop step emits one flight record; wait for the first.
+	var capture struct {
+		Format  string `json:"format"`
+		Records []struct {
+			Site     string             `json:"site"`
+			Features map[string]float64 `json:"features"`
+		} `json:"records"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(debugBase + "/debug/apollo/flight")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("flight endpoint status %d", resp.StatusCode)
+		}
+		capture.Records = nil
+		if err := json.NewDecoder(resp.Body).Decode(&capture); err != nil {
+			t.Fatalf("flight body: %v", err)
+		}
+		resp.Body.Close()
+		if len(capture.Records) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if capture.Format != "apollo-flight-v1" {
+		t.Fatalf("capture format %q", capture.Format)
+	}
+	if len(capture.Records) == 0 {
+		t.Fatal("no flight records after 10s of loop steps")
+	}
+	rec := capture.Records[0]
+	if rec.Site != "traind:loop/policy" {
+		t.Errorf("record site %q", rec.Site)
+	}
+	if _, ok := rec.Features["window_rows"]; !ok {
+		t.Errorf("record lacks loop-state features: %v", rec.Features)
+	}
+
+	// Timed trace capture.
+	resp, err := http.Get(debugBase + "/debug/apollo/trace?sec=0.05")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint: %v %v", resp, err)
+	}
+	var events []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatalf("trace body not a JSON array: %v", err)
+	}
+	resp.Body.Close()
+
+	// pprof on the same listener.
+	resp, err = http.Get(debugBase + "/debug/pprof/cmdline")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestTraindRequiresModel(t *testing.T) {
+	err := run(context.Background(), "http://127.0.0.1:1", t.TempDir(), "", "execution_policy",
+		time.Second, true, "", "", 0.25, 6, 8, 0.02, 0.25, nil)
+	if err == nil {
+		t.Fatal("missing -model accepted")
+	}
+}

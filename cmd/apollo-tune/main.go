@@ -18,6 +18,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"apollo/internal/caliper"
 	"apollo/internal/client"
 	"apollo/internal/features"
+	"apollo/internal/flight"
 	"apollo/internal/harness"
 	"apollo/internal/platform"
 	"apollo/internal/raja"
@@ -47,17 +50,19 @@ func main() {
 	flush := flag.Duration("flush", 500*time.Millisecond, "telemetry upload interval")
 	noise := flag.Float64("noise", 0.05, "measurement noise amplitude")
 	seed := flag.Uint64("seed", 1, "noise seed")
+	debugAddr := flag.String("debug-addr", "", "serve the flight-recorder debug endpoints and pprof on this address (empty disables)")
 	flag.Parse()
 
 	if err := run(*serverURL, *model, *appName, *problem, *size, *steps, *maxSteps, *waitSwaps,
-		*sampleEvery, *exploreEvery, *poll, *flush, *noise, *seed); err != nil {
+		*sampleEvery, *exploreEvery, *poll, *flush, *noise, *seed, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "apollo-tune:", err)
 		os.Exit(1)
 	}
 }
 
 func run(serverURL, model, appName, problem string, size, steps, maxSteps, waitSwaps int,
-	sampleEvery, exploreEvery uint64, poll, flush time.Duration, noise float64, seed uint64) error {
+	sampleEvery, exploreEvery uint64, poll, flush time.Duration, noise float64, seed uint64,
+	debugAddr string) error {
 	if model == "" {
 		return fmt.Errorf("-model is required")
 	}
@@ -101,6 +106,19 @@ func run(serverURL, model, appName, problem string, size, steps, maxSteps, waitS
 		UseTelemetry(rec).
 		ExploreEvery(exploreEvery)
 	ctx.Hooks = tn
+
+	var fr *flight.Recorder
+	if debugAddr != "" {
+		fr = flight.New(flight.Options{FeatureNames: schema.Names()})
+		tn.UseFlight(fr)
+		ln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Printf("apollo-tune: debug on http://%s/debug/apollo/flight\n", ln.Addr())
+		go http.Serve(ln, flight.DebugMux(fr))
+	}
 
 	sim, err := desc.New(app.Config{Ctx: ctx, Ann: ann, Problem: problem, Size: size})
 	if err != nil {

@@ -111,6 +111,17 @@ func Captures(n int) func() int {
 	return f
 }
 
+// Bodyless declarations (runtime symbols bound via //go:linkname, or
+// assembly implementations) have no statements to walk and must pass
+// silently — this is how hot code gets a monotonic clock without the
+// banned time.Now.
+//
+//go:linkname clocknano runtime.nanotime
+func clocknano() int64
+
+//apollo:hotpath
+func CallsBodyless() int64 { return clocknano() }
+
 // Clean hot path: nothing here may be reported.
 //
 //apollo:hotpath

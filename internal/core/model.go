@@ -101,6 +101,33 @@ func (p *Projector) Predict(source []float64) int {
 // Model returns the model the projector evaluates.
 func (p *Projector) Model() *Model { return p.model }
 
+// PredictTrail is Predict with decision provenance: it records the
+// root-to-leaf trail into the caller's buffer, with each step's Feature
+// rewritten from the model's schema to the projector's *source* schema
+// (-1 for model features the source lacks, which project as zero). The
+// flight recorder stores source-schema indices so one feature-name table
+// explains every decision regardless of which reduced model made it.
+// Like Predict, it allocates nothing and is safe for concurrent callers.
+//
+//apollo:hotpath
+func (p *Projector) PredictTrail(source []float64, trail []dtree.TrailStep) (class, steps int) {
+	bufp := p.pool.Get().(*[]float64)
+	buf := *bufp
+	for i, j := range p.idx {
+		if j >= 0 {
+			buf[i] = source[j]
+		} else {
+			buf[i] = 0
+		}
+	}
+	class, steps = p.model.Tree.PredictTrail(buf, trail)
+	for i := 0; i < steps; i++ {
+		trail[i].Feature = int32(p.idx[trail[i].Feature])
+	}
+	p.pool.Put(bufp)
+	return class, steps
+}
+
 // FeatureRanking returns the model's features ordered by decreasing Gini
 // importance, with their normalized importances (paper Fig. 8).
 func (m *Model) FeatureRanking() ([]string, []float64) {

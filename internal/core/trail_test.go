@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"apollo/internal/dtree"
+	"apollo/internal/features"
+)
+
+// Projector.PredictTrail must agree with Predict and translate trail
+// feature indices back to the source schema so one name table explains
+// decisions from any reduced model.
+func TestProjectorPredictTrail(t *testing.T) {
+	schema := testSchema()
+	set, _ := Label(syntheticFrame(schema), schema, ExecutionPolicy)
+	m, err := Train(set, TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := features.NewSchema("extra", features.NumIndices, "pad")
+	proj := m.NewProjector(source)
+	srcIdx := source.Index(features.NumIndices)
+
+	trail := make([]dtree.TrailStep, 32)
+	for _, n := range []float64{10, 800, 1500, 60000} {
+		x := []float64{-1, n, -2}
+		class, steps := proj.PredictTrail(x, trail)
+		if class != proj.Predict(x) {
+			t.Errorf("n=%g: trail class %d != predict %d", n, class, proj.Predict(x))
+		}
+		if steps == 0 {
+			t.Fatalf("n=%g: empty trail", n)
+		}
+		for i := 0; i < steps; i++ {
+			s := trail[i]
+			// The only model feature is num_indices; every step must
+			// report its *source* index and the source value.
+			if int(s.Feature) != srcIdx {
+				t.Errorf("n=%g step %d: feature index %d, want source index %d", n, i, s.Feature, srcIdx)
+			}
+			if s.Value != n {
+				t.Errorf("n=%g step %d: value %g, want %g", n, i, s.Value, n)
+			}
+			if s.Right != (n > s.Threshold) {
+				t.Errorf("n=%g step %d: direction right=%v threshold=%g inconsistent", n, i, s.Right, s.Threshold)
+			}
+		}
+	}
+}
+
+// The projector trail path allocates nothing in steady state.
+func TestProjectorPredictTrailAllocFree(t *testing.T) {
+	schema := testSchema()
+	set, _ := Label(syntheticFrame(schema), schema, ExecutionPolicy)
+	m, _ := Train(set, TrainConfig{})
+	source := features.NewSchema("extra", features.NumIndices, "pad")
+	proj := m.NewProjector(source)
+	x := []float64{-1, 800, -2}
+	trail := make([]dtree.TrailStep, 32)
+	proj.PredictTrail(x, trail) // warm the pool
+	allocs := testing.AllocsPerRun(100, func() {
+		proj.PredictTrail(x, trail)
+	})
+	if allocs != 0 {
+		t.Errorf("PredictTrail allocates %.1f objects per run, want 0", allocs)
+	}
+}

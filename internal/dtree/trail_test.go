@@ -1,0 +1,91 @@
+package dtree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// PredictTrail must agree with Predict on every input and record the
+// exact comparisons the walk performed, in root-to-leaf order.
+func TestPredictTrailMatchesPredict(t *testing.T) {
+	X, y := thresholdData(200)
+	tree, err := Train(X, y, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trail := make([]TrailStep, 32)
+	check := func(v float64) bool {
+		x := []float64{v}
+		label, steps := tree.PredictTrail(x, trail)
+		if label != tree.Predict(x) {
+			return false
+		}
+		if steps <= 0 || steps > tree.Depth() {
+			return false
+		}
+		// Replay the trail against the tree: each step must describe
+		// the node actually visited.
+		n := tree.Root
+		for i := 0; i < steps; i++ {
+			s := trail[i]
+			if n.IsLeaf() || int(s.Feature) != n.Feature ||
+				s.Threshold != n.Threshold || s.Value != x[n.Feature] ||
+				s.Right != (x[n.Feature] > n.Threshold) {
+				return false
+			}
+			if s.Right {
+				n = n.Right
+			} else {
+				n = n.Left
+			}
+		}
+		return n.IsLeaf() && n.Label == label
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A trail buffer shorter than the path truncates recording but still
+// predicts correctly.
+func TestPredictTrailTruncates(t *testing.T) {
+	X, y := xorData()
+	tree, err := Train(X, y, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() < 2 {
+		t.Fatalf("xor tree depth %d, want >= 2", tree.Depth())
+	}
+	x := X[0]
+	short := make([]TrailStep, 1)
+	label, steps := tree.PredictTrail(x, short)
+	if steps != 1 {
+		t.Errorf("steps = %d, want 1 (buffer-capped)", steps)
+	}
+	if label != tree.Predict(x) {
+		t.Errorf("truncated trail changed the prediction: %d vs %d", label, tree.Predict(x))
+	}
+	// Zero-length buffer: pure prediction, zero steps.
+	if label0, steps0 := tree.PredictTrail(x, nil); steps0 != 0 || label0 != label {
+		t.Errorf("nil trail: label=%d steps=%d, want label=%d steps=0", label0, steps0, label)
+	}
+}
+
+// The trail-recording walk must stay allocation-free: the flight
+// recorder calls it on the launch hot path.
+func TestPredictTrailAllocFree(t *testing.T) {
+	X, y := thresholdData(200)
+	tree, err := Train(X, y, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{42}
+	trail := make([]TrailStep, 32)
+	allocs := testing.AllocsPerRun(100, func() {
+		tree.PredictTrail(x, trail)
+	})
+	if allocs != 0 {
+		t.Errorf("PredictTrail allocates %.1f objects per run, want 0", allocs)
+	}
+}

@@ -86,6 +86,54 @@ func (t *Tree) PredictNode(x []float64) *Node {
 	return n
 }
 
+// TrailStep is one internal-node comparison on the root-to-leaf path of
+// a prediction: which feature was consulted, the value it had, the
+// threshold it was compared against, and which way the sample went. A
+// trail of steps is the decision's provenance — the flight recorder
+// captures it per launch so an operator can see *why* a variant was
+// chosen, not just which.
+type TrailStep struct {
+	// Feature is the split feature index (into the vector handed to
+	// PredictTrail; projectors translate it to their source schema).
+	Feature int32
+	// Right reports whether the sample took the right branch
+	// (value > threshold).
+	Right bool
+	// Threshold is the split value.
+	Threshold float64
+	// Value is the feature's value in the predicted vector.
+	Value float64
+}
+
+// PredictTrail evaluates x like Predict while recording the root-to-leaf
+// node trail into the caller's buffer. It returns the predicted label
+// and the number of steps written; paths deeper than len(trail) keep
+// walking but stop recording (steps then equals len(trail)). It
+// allocates nothing, so the flight recorder can call it per launch.
+//
+//apollo:hotpath
+func (t *Tree) PredictTrail(x []float64, trail []TrailStep) (label, steps int) {
+	n := t.Root
+	for !n.IsLeaf() {
+		right := x[n.Feature] > n.Threshold
+		if steps < len(trail) {
+			trail[steps] = TrailStep{
+				Feature:   int32(n.Feature),
+				Right:     right,
+				Threshold: n.Threshold,
+				Value:     x[n.Feature],
+			}
+			steps++
+		}
+		if right {
+			n = n.Right
+		} else {
+			n = n.Left
+		}
+	}
+	return n.Label, steps
+}
+
 // Depth returns the maximum depth of the tree (a lone root is depth 0).
 func (t *Tree) Depth() int { return depth(t.Root) }
 

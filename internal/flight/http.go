@@ -1,0 +1,100 @@
+package flight
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"apollo/internal/trace"
+)
+
+// CaptureTrace records for the given duration (or until ctx is done) and
+// returns the window's decisions as trace events: only records emitted
+// after the call started are included, so back-to-back captures see
+// disjoint windows even though the recorder's retained history overlaps.
+func (r *Recorder) CaptureTrace(ctx context.Context, d time.Duration) []trace.Event {
+	start := Now()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+	recs := r.Snapshot()
+	fresh := recs[:0]
+	for i := range recs {
+		if recs[i].TimeNS >= start {
+			fresh = append(fresh, recs[i])
+		}
+	}
+	return r.TraceEvents(fresh)
+}
+
+// maxTraceCapture caps /debug/apollo/trace?sec=N so a typo cannot hold a
+// request handler (and its client connection) open for hours.
+const maxTraceCapture = 5 * time.Minute
+
+// RegisterDebug installs the flight-recorder debug endpoints and the
+// pprof profiler on mux:
+//
+//	/debug/apollo/flight       recent decisions as apollo-flight-v1 JSON
+//	/debug/apollo/trace?sec=N  N-second capture as Chrome trace-event JSON
+//	/debug/pprof/...           net/http/pprof
+//
+// The handlers only read the recorder (drains move records into the
+// retained window but lose nothing), so the endpoints are safe to expose
+// on a live production process — that is the point of a flight recorder.
+// rec may be nil, in which case the apollo endpoints report 503 and only
+// pprof is live.
+func RegisterDebug(mux *http.ServeMux, rec *Recorder) {
+	mux.HandleFunc("GET /debug/apollo/flight", func(w http.ResponseWriter, req *http.Request) {
+		if rec == nil {
+			http.Error(w, "flight recorder not enabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rec.Capture())
+	})
+	mux.HandleFunc("GET /debug/apollo/trace", func(w http.ResponseWriter, req *http.Request) {
+		if rec == nil {
+			http.Error(w, "flight recorder not enabled", http.StatusServiceUnavailable)
+			return
+		}
+		sec := 1.0
+		if s := req.URL.Query().Get("sec"); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil || v < 0 {
+				http.Error(w, "bad sec parameter", http.StatusBadRequest)
+				return
+			}
+			sec = v
+		}
+		d := time.Duration(sec * float64(time.Second))
+		if d > maxTraceCapture {
+			d = maxTraceCapture
+		}
+		events := rec.CaptureTrace(req.Context(), d)
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChromeTrace(w, events)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// DebugMux returns a mux with RegisterDebug applied — the embeddable
+// debug surface an application hangs off its own listener:
+//
+//	go http.Serve(ln, flight.DebugMux(rec))
+func DebugMux(rec *Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	RegisterDebug(mux, rec)
+	return mux
+}

@@ -1,0 +1,96 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"apollo/internal/trace"
+)
+
+func TestTraceEventsFromRecords(t *testing.T) {
+	r := New(Options{Shards: 1, ShardCapacity: 8})
+	r.RegisterSite(7, "daxpy", nil)
+	rec, tok := r.Reserve(7)
+	if rec == nil {
+		t.Fatal("reservation dropped")
+	}
+	rec.Iterations = 100
+	rec.Policy = 1
+	rec.Predicted = 1
+	rec.ObservedNS = 5000
+	rec.PredictedNS = 4000
+	rec.FeatureNS = 100
+	rec.ModelNS = 50
+	r.Commit(tok)
+	rec2, tok2 := r.Reserve(7)
+	if rec2 == nil {
+		t.Fatal("reservation dropped")
+	}
+	rec2.Iterations = 10
+	rec2.Policy = 0
+	rec2.ObservedNS = 300
+	r.Commit(tok2)
+
+	events := r.TraceEvents(r.Snapshot())
+	// Record 1 has phase timings → execution + decision spans; record 2
+	// has none → execution only.
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	exec := events[0]
+	if exec.Kernel != "daxpy" || exec.DurationNS != 5000 || exec.Iterations != 100 {
+		t.Fatalf("execution span wrong: %+v", exec)
+	}
+	if exec.Args["predicted_ns"] != "4000" || exec.Args["explored"] != "false" {
+		t.Fatalf("execution args wrong: %v", exec.Args)
+	}
+	dec := events[1]
+	if dec.Cat != "decision" || dec.Kernel != "daxpy decision" || dec.DurationNS != 150 {
+		t.Fatalf("decision span wrong: %+v", dec)
+	}
+	// The decision span sits immediately before its execution span.
+	if got := dec.StartNS + dec.DurationNS; got != exec.StartNS {
+		t.Fatalf("decision ends at %g, execution starts at %g", got, exec.StartNS)
+	}
+	// Timeline is rebased: nothing starts before 0.
+	for _, e := range events {
+		if e.StartNS < 0 {
+			t.Fatalf("event starts before 0: %+v", e)
+		}
+	}
+
+	// The converted events export as valid Chrome trace JSON.
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("not valid trace JSON: %v", err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("exported %d entries", len(decoded))
+	}
+}
+
+func TestTraceEventsEmpty(t *testing.T) {
+	r := New(Options{Shards: 1, ShardCapacity: 8})
+	if events := r.TraceEvents(nil); events != nil {
+		t.Fatalf("empty conversion returned %v", events)
+	}
+}
+
+func TestTraceEventsUnknownSite(t *testing.T) {
+	r := New(Options{Shards: 1, ShardCapacity: 8})
+	rec, tok := r.Reserve(0xbeef)
+	if rec == nil {
+		t.Fatal("reservation dropped")
+	}
+	rec.ObservedNS = 10
+	r.Commit(tok)
+	events := r.TraceEvents(r.Snapshot())
+	if len(events) != 1 || events[0].Kernel != "site-0xbeef" {
+		t.Fatalf("unknown site not named positionally: %+v", events)
+	}
+}

@@ -1,4 +1,8 @@
-package server
+// Package metrics is a dependency-free Prometheus-text metrics set shared
+// by the model-service daemon, the continuous trainer, and embedding
+// applications. It lives outside internal/server so a tuner-side process
+// can expose counters without linking the whole HTTP service.
+package metrics
 
 import (
 	"fmt"
@@ -47,8 +51,8 @@ type histogram struct {
 	total  atomic.Uint64
 }
 
-// NewMetrics returns an empty metrics set.
-func NewMetrics() *Metrics {
+// New returns an empty metrics set.
+func New() *Metrics {
 	m := &Metrics{}
 	m.cur.Store(&metricsSnapshot{
 		counters:   map[string]map[string]*atomic.Uint64{},

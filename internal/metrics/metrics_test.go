@@ -1,6 +1,9 @@
-package server
+package metrics
 
 import (
+	"regexp"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -10,7 +13,7 @@ import (
 // them — so after the first sight of a series the steady-state update
 // must not allocate or lock.
 func TestMetricsHotPathAllocationFree(t *testing.T) {
-	m := NewMetrics()
+	m := New()
 	m.CounterAdd("apollo_decisions_total", "model", "guard", "h", 1)
 	m.Observe("apollo_decision_seconds", "h", 1e-5)
 	allocs := testing.AllocsPerRun(200, func() {
@@ -27,7 +30,7 @@ func TestMetricsHotPathAllocationFree(t *testing.T) {
 // series all land, because the *atomic values are shared across
 // snapshots.
 func TestMetricsConcurrentFirstSight(t *testing.T) {
-	m := NewMetrics()
+	m := New()
 	const perG, goroutines = 200, 8
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
@@ -56,5 +59,44 @@ func TestMetricsConcurrentFirstSight(t *testing.T) {
 	}
 	if !strings.Contains(out, "apollo_race_seconds_count 1600") {
 		t.Errorf("histogram lost observations:\n%s", out)
+	}
+}
+
+// The runtime collector exposes goroutine, heap, and GC-pause
+// self-metrics, and consumes each completed pause exactly once across
+// repeated collects.
+func TestRuntimeCollector(t *testing.T) {
+	m := New()
+	rc := NewRuntimeCollector(m)
+	runtime.GC()
+	rc.Collect()
+	rc.Collect() // second collect must not double-count pauses
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"apollo_go_goroutines",
+		"apollo_go_heap_alloc_bytes",
+		"apollo_go_heap_sys_bytes",
+		"apollo_go_gc_pause_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	re := regexp.MustCompile(`apollo_go_gc_pause_seconds_count (\d+)`)
+	match := re.FindStringSubmatch(out)
+	if match == nil {
+		t.Fatalf("no pause count in exposition:\n%s", out)
+	}
+	count, _ := strconv.Atoi(match[1])
+	if uint32(count) > ms.NumGC {
+		t.Errorf("pause observations %d exceed completed GC cycles %d (double-counted)", count, ms.NumGC)
 	}
 }

@@ -20,6 +20,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"sort"
@@ -27,6 +28,8 @@ import (
 	"sync"
 	"time"
 
+	"apollo/internal/flight"
+	"apollo/internal/metrics"
 	"apollo/internal/registry"
 	"apollo/internal/telemetry"
 )
@@ -40,9 +43,11 @@ const decisionCacheCap = 8192
 
 // Server wires a registry to HTTP handlers plus a metrics set.
 type Server struct {
-	reg     *registry.Registry
-	metrics *Metrics
-	mux     *http.ServeMux
+	reg *registry.Registry
+	met *metrics.Metrics
+	rc  *metrics.RuntimeCollector
+	fl  *flight.Recorder
+	mux *http.ServeMux
 
 	cacheMu sync.RWMutex //apollo:lockrank 20
 	// decision memo: ETag + vector bytes -> predicted class.
@@ -60,11 +65,13 @@ type Server struct {
 func New(reg *registry.Registry, opts ...Option) *Server {
 	s := &Server{
 		reg:       reg,
-		metrics:   NewMetrics(),
+		met:       metrics.New(),
 		mux:       http.NewServeMux(),
 		decisions: make(map[string]int),
 		spools:    make(map[string]*telemetry.Spool),
 	}
+	s.rc = metrics.NewRuntimeCollector(s.met)
+	s.fl = flight.New(flight.Options{Shards: 4, ShardCapacity: 256})
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -79,7 +86,7 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 	// Seed version gauges for models loaded from disk at open.
 	for _, name := range reg.Names() {
 		if e, ok := reg.Get(name); ok {
-			s.metrics.GaugeSet("apollo_model_version", "model", name,
+			s.met.GaugeSet("apollo_model_version", "model", name,
 				"Current registry version of each model.", int64(e.Version))
 		}
 	}
@@ -91,15 +98,20 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics returns the server's metrics set (the registry watcher's
 // reload hook feeds it too).
-func (s *Server) Metrics() *Metrics { return s.metrics }
+func (s *Server) Metrics() *metrics.Metrics { return s.met }
+
+// Flight returns the server's always-on flight recorder. Every cache-
+// missing /predict evaluation emits a decision record to it; the daemon
+// hangs the flight debug endpoints off it via flight.RegisterDebug.
+func (s *Server) Flight() *flight.Recorder { return s.fl }
 
 // NoteReload records watcher hot-reloads and refreshes version gauges.
 func (s *Server) NoteReload(n int) {
-	s.metrics.CounterAdd("apollo_model_reloads_total", "", "",
+	s.met.CounterAdd("apollo_model_reloads_total", "", "",
 		"Models hot-reloaded from disk by the registry watcher.", uint64(n))
 	for _, name := range s.reg.Names() {
 		if e, ok := s.reg.Get(name); ok {
-			s.metrics.GaugeSet("apollo_model_version", "model", name,
+			s.met.GaugeSet("apollo_model_version", "model", name,
 				"Current registry version of each model.", int64(e.Version))
 		}
 	}
@@ -110,10 +122,10 @@ func (s *Server) NoteReload(n int) {
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		s.metrics.CounterAdd("apollo_http_requests_total", "handler", name,
+		s.met.CounterAdd("apollo_http_requests_total", "handler", name,
 			"HTTP requests served, by handler.", 1)
 		h(w, r)
-		s.metrics.Observe("apollo_http_request_duration_seconds",
+		s.met.Observe("apollo_http_request_duration_seconds",
 			"HTTP request latency.", time.Since(start).Seconds())
 	}
 }
@@ -162,9 +174,9 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.metrics.CounterAdd("apollo_model_publishes_total", "model", name,
+	s.met.CounterAdd("apollo_model_publishes_total", "model", name,
 		"Models published via PUT, by model.", 1)
-	s.metrics.GaugeSet("apollo_model_version", "model", name,
+	s.met.GaugeSet("apollo_model_version", "model", name,
 		"Current registry version of each model.", int64(e.Version))
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("ETag", e.ETag)
@@ -183,7 +195,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Apollo-Model-Version", strconv.Itoa(e.Version))
 	w.Header().Set("X-Apollo-Schema-Hash", e.SchemaHash)
 	if match := r.Header.Get("If-None-Match"); match != "" && match == e.ETag {
-		s.metrics.CounterAdd("apollo_model_not_modified_total", "", "",
+		s.met.CounterAdd("apollo_model_not_modified_total", "", "",
 			"Conditional model fetches answered 304 Not Modified.", 1)
 		w.WriteHeader(http.StatusNotModified)
 		return
@@ -269,7 +281,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Classes = append(resp.Classes, s.predict(e, x))
 		resp.Labels = append(resp.Labels, e.Model.Param.ClassName(resp.Classes[i]))
 	}
-	s.metrics.CounterAdd("apollo_predictions_total", "", "",
+	s.met.CounterAdd("apollo_predictions_total", "", "",
 		"Feature vectors evaluated by POST /predict.", uint64(len(vectors)))
 	if single {
 		resp.Class, resp.Label = &resp.Classes[0], resp.Labels[0]
@@ -279,18 +291,41 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-// predict evaluates one vector through the memo cache.
+// predict evaluates one vector through the memo cache. Cache-missing
+// evaluations — the ones where the model actually ran — emit a flight
+// record carrying the vector, the decision trail, and the evaluation
+// time (a cache hit is a repeat of a decision already on record).
 func (s *Server) predict(e *registry.Entry, x []float64) int {
 	key := decisionKey(e.ETag, x)
 	s.cacheMu.RLock()
 	class, hit := s.decisions[key]
 	s.cacheMu.RUnlock()
 	if hit {
-		s.metrics.CounterAdd("apollo_predict_cache_hits_total", "", "",
+		s.met.CounterAdd("apollo_predict_cache_hits_total", "", "",
 			"Predictions answered from the decision memo cache.", 1)
 		return class
 	}
-	class = e.Model.Predict(x)
+	siteID := siteIDFor(e.Name)
+	if !s.fl.SiteKnown(siteID) {
+		s.fl.RegisterSite(siteID, e.Name, e.Model.Schema.Names())
+	}
+	t0 := flight.Now()
+	rec, tok := s.fl.Reserve(siteID)
+	if rec != nil {
+		var steps int
+		class, steps = e.Model.Tree.PredictTrail(x, rec.Trail[:])
+		rec.TrailLen = int32(steps)
+		rec.NumFeatures = int32(copy(rec.Features[:], x))
+		rec.Predicted = int32(class)
+		rec.Policy = int32(class)
+		evalNS := float64(flight.Now() - t0)
+		rec.ModelNS = evalNS
+		rec.ObservedNS = evalNS
+		rec.PredictedNS = s.fl.PredictObserve(siteID, class, evalNS)
+	} else {
+		class = e.Model.Predict(x)
+	}
+	s.fl.Commit(tok)
 	s.cacheMu.Lock()
 	if len(s.decisions) >= decisionCacheCap {
 		s.decisions = make(map[string]int)
@@ -298,6 +333,14 @@ func (s *Server) predict(e *registry.Entry, x []float64) int {
 	s.decisions[key] = class
 	s.cacheMu.Unlock()
 	return class
+}
+
+// siteIDFor derives the stable flight-recorder site ID for a model name
+// (version-independent, so runtime EWMAs survive republishes).
+func siteIDFor(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
 }
 
 // decisionKey builds the memo key: the entry's content hash plus the
@@ -318,6 +361,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.rc.Collect() // refresh goroutine/heap/GC-pause self-metrics
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w)
+	s.met.WritePrometheus(w)
 }

@@ -62,7 +62,7 @@ func (s *Server) CloseSpools() error {
 
 // rejectTelemetry counts and answers one rejected batch.
 func (s *Server) rejectTelemetry(w http.ResponseWriter, status int, reason, format string, args ...any) {
-	s.metrics.CounterAdd("apollo_telemetry_rejected_total", "reason", reason,
+	s.met.CounterAdd("apollo_telemetry_rejected_total", "reason", reason,
 		"Telemetry batches rejected, by reason.", 1)
 	errorJSON(w, status, format, args...)
 }
@@ -111,9 +111,9 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		s.rejectTelemetry(w, http.StatusConflict, "spool", "%v", err)
 		return
 	}
-	s.metrics.CounterAdd("apollo_telemetry_batches_total", "model", b.Model,
+	s.met.CounterAdd("apollo_telemetry_batches_total", "model", b.Model,
 		"Telemetry batches ingested, by model.", 1)
-	s.metrics.CounterAdd("apollo_telemetry_rows_total", "model", b.Model,
+	s.met.CounterAdd("apollo_telemetry_rows_total", "model", b.Model,
 		"Telemetry sample rows ingested, by model.", uint64(len(b.Rows)))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)

@@ -28,6 +28,13 @@ type Event struct {
 	Iterations int
 	// Params is the parameter assignment used.
 	Params raja.Params
+	// Cat, when non-empty, overrides the exported trace-event category
+	// (default "kernel"). The flight recorder uses "decision" for
+	// tuning-overhead spans so they land on their own Perfetto track.
+	Cat string
+	// Args are extra key/value pairs merged into the exported args
+	// (overriding the default iterations/params entries on key clash).
+	Args map[string]string
 }
 
 // Tracer wraps an inner raja.Hooks and records every launch.
@@ -168,18 +175,26 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		if e.Params.Policy.Parallel() {
 			tid = 1
 		}
+		cat := e.Cat
+		if cat == "" {
+			cat = "kernel"
+		}
+		args := map[string]string{
+			"iterations": fmt.Sprintf("%d", e.Iterations),
+			"params":     e.Params.String(),
+		}
+		for k, v := range e.Args {
+			args[k] = v
+		}
 		out = append(out, chromeEvent{
 			Name: e.Kernel,
-			Cat:  "kernel",
+			Cat:  cat,
 			Ph:   "X",
 			Ts:   e.StartNS / 1e3,
 			Dur:  e.DurationNS / 1e3,
 			PID:  1,
 			TID:  tid,
-			Args: map[string]string{
-				"iterations": fmt.Sprintf("%d", e.Iterations),
-				"params":     e.Params.String(),
-			},
+			Args: args,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"apollo/internal/instmix"
@@ -195,4 +196,100 @@ func (h *countingHooks) Begin(k *raja.Kernel, iset *raja.IndexSet) (raja.Params,
 
 func (h *countingHooks) End(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, ns float64) {
 	h.ends++
+}
+
+// TestTracerConcurrentLaunchesRaceFree drives one tracer from many
+// goroutines at once — the shape of an application tracing concurrent
+// contexts — and verifies (under -race) that the timeline stays
+// internally consistent: no lost events, no overlapping virtual spans.
+func TestTracerConcurrentLaunchesRaceFree(t *testing.T) {
+	tr := New(nil, 0)
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := raja.NewKernel(fmt.Sprintf("trace::worker%d", w), nil)
+			iset := raja.NewRange(0, 10)
+			for i := 0; i < perWorker; i++ {
+				p, _ := tr.Begin(k, iset)
+				tr.End(k, iset, p, 5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	events := tr.Events()
+	if len(events) != workers*perWorker {
+		t.Fatalf("recorded %d events, want %d", len(events), workers*perWorker)
+	}
+	// The virtual timeline is contiguous regardless of interleaving:
+	// every End advances the clock by its duration under the lock.
+	starts := map[float64]bool{}
+	for _, e := range events {
+		if starts[e.StartNS] {
+			t.Fatalf("two events share virtual start %g", e.StartNS)
+		}
+		starts[e.StartNS] = true
+	}
+}
+
+// TestTracerLimitKeepsEarliest pins down which side of the trace the
+// cap discards: the earliest events are retained (the startup timeline,
+// which is what a bounded trace is for), later ones are dropped, and
+// the virtual clock still advances past the cap.
+func TestTracerLimitKeepsEarliest(t *testing.T) {
+	tr := New(nil, 3)
+	k := raja.NewKernel("trace::capped", nil)
+	iset := raja.NewRange(0, 10)
+	for i := 0; i < 10; i++ {
+		tr.End(k, iset, raja.Params{}, float64(100 + i))
+	}
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("cap kept %d events, want 3", len(events))
+	}
+	for i, e := range events {
+		if e.DurationNS != float64(100+i) {
+			t.Fatalf("event %d has duration %g: cap did not keep the earliest", i, e.DurationNS)
+		}
+	}
+	// Still contiguous from zero.
+	if events[0].StartNS != 0 || events[2].StartNS != 201 {
+		t.Fatalf("starts %g, %g: timeline broken by cap", events[0].StartNS, events[2].StartNS)
+	}
+}
+
+// TestChromeTraceMergesArgsAndCat covers the exporter extensions the
+// flight recorder relies on: per-event category override and extra args
+// merged over the defaults.
+func TestChromeTraceMergesArgsAndCat(t *testing.T) {
+	events := []Event{{
+		Kernel:     "k",
+		StartNS:    1000,
+		DurationNS: 2000,
+		Iterations: 7,
+		Params:     raja.Params{Policy: raja.SeqExec},
+		Cat:        "decision",
+		Args:       map[string]string{"explored": "true", "params": "overridden"},
+	}}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Cat  string            `json:"cat"`
+		Args map[string]string `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded[0].Cat != "decision" {
+		t.Errorf("cat = %q, want decision", decoded[0].Cat)
+	}
+	args := decoded[0].Args
+	if args["iterations"] != "7" || args["explored"] != "true" || args["params"] != "overridden" {
+		t.Errorf("args not merged: %v", args)
+	}
 }

@@ -22,6 +22,7 @@ import (
 	"apollo/internal/core"
 	"apollo/internal/dataset"
 	"apollo/internal/features"
+	"apollo/internal/flight"
 	"apollo/internal/raja"
 	"apollo/internal/telemetry"
 )
@@ -173,6 +174,11 @@ type Tuner struct {
 	// loop. Nil keeps End a two-instruction no-op.
 	telem atomic.Pointer[telemetry.Recorder]
 
+	// fl, when set, receives a full decision-provenance record from End
+	// (feature snapshot, decision trail, predicted-vs-observed runtime,
+	// phase timings). Nil costs one atomic load and a branch.
+	fl atomic.Pointer[flight.Recorder]
+
 	// exploreEvery > 0 flips the predicted execution policy on every
 	// exploreEvery-th launch, so telemetry contains counterfactual
 	// observations (how fast would the other variant have been?) that
@@ -285,6 +291,69 @@ func (t *Tuner) End(k *raja.Kernel, iset *raja.IndexSet, p raja.Params, elapsedN
 	if rec := t.telem.Load(); rec != nil {
 		rec.Record(k, iset, p, elapsedNS)
 	}
+	if fr := t.fl.Load(); fr != nil {
+		t.emitFlight(fr, k, iset, p, elapsedNS)
+	}
+}
+
+// emitFlight writes one decision-provenance record: it re-extracts the
+// launch's features into the reserved record and re-evaluates the
+// installed models with trail capture, timing both phases. Re-deriving
+// at End (rather than carrying state from Begin) keeps raja.Hooks token-
+// free and the disabled cost at a single branch; the replayed decision
+// can differ from the one Begin made only if a model was hot-swapped
+// mid-launch or the launch was an exploration flip — both of which
+// surface as Explored. It allocates nothing.
+//
+//apollo:hotpath
+func (t *Tuner) emitFlight(fr *flight.Recorder, k *raja.Kernel, iset *raja.IndexSet, p raja.Params, elapsedNS float64) {
+	if !fr.SiteKnown(k.ID) {
+		fr.RegisterSite(k.ID, k.Name, nil)
+	}
+	rec, tok := fr.Reserve(k.ID)
+	if rec == nil {
+		fr.Commit(tok)
+		return
+	}
+	t0 := flight.Now()
+	xp := t.scratch.Get().(*[]float64)
+	x := t.schema.ExtractInto(*xp, k, iset, t.ann)
+	t1 := flight.Now()
+	rec.NumFeatures = int32(copy(rec.Features[:], x))
+	predicted := int32(-1)
+	chosen := t.base
+	trailLen := 0
+	if ps := t.src.Load().s.Projectors(); ps != nil {
+		if ps.Policy != nil {
+			class, steps := ps.Policy.PredictTrail(x, rec.Trail[:])
+			trailLen = steps
+			predicted = int32(class)
+			chosen.Policy = raja.Policy(class)
+		}
+		if ps.Chunk != nil {
+			class, steps := ps.Chunk.PredictTrail(x, rec.Trail[trailLen:])
+			trailLen += steps
+			if predicted < 0 {
+				predicted = int32(class)
+			}
+			if class >= 0 && class < len(raja.ChunkSizes) {
+				chosen.Chunk = raja.ChunkSizes[class]
+			}
+		}
+	}
+	t2 := flight.Now()
+	t.scratch.Put(xp)
+	rec.Iterations = int64(iset.Len())
+	rec.Policy = int32(p.Policy)
+	rec.Chunk = int32(p.Chunk)
+	rec.Predicted = predicted
+	rec.TrailLen = int32(trailLen)
+	rec.Explored = predicted >= 0 && chosen.Policy != p.Policy
+	rec.ObservedNS = elapsedNS
+	rec.PredictedNS = fr.PredictObserve(k.ID, int(p.Policy), elapsedNS)
+	rec.FeatureNS = float64(t1 - t0)
+	rec.ModelNS = float64(t2 - t1)
+	fr.Commit(tok)
 }
 
 // UseTelemetry attaches (or, with nil, detaches) a telemetry recorder;
@@ -293,6 +362,16 @@ func (t *Tuner) UseTelemetry(rec *telemetry.Recorder) *Tuner {
 	t.telem.Store(rec)
 	return t
 }
+
+// UseFlight attaches (or, with nil, detaches) a flight recorder; every
+// subsequent launch emits a decision-provenance record from End.
+func (t *Tuner) UseFlight(fr *flight.Recorder) *Tuner {
+	t.fl.Store(fr)
+	return t
+}
+
+// Flight returns the attached flight recorder (nil when detached).
+func (t *Tuner) Flight() *flight.Recorder { return t.fl.Load() }
 
 // ExploreEvery makes every n-th launch execute the opposite execution
 // policy from the model's pick (0 disables). A small exploration rate is

@@ -55,7 +55,7 @@ func TestRecorderForcesSweepAndRecords(t *testing.T) {
 	}
 }
 
-func trainPolicyModel(t *testing.T, schema *features.Schema) *core.Model {
+func trainPolicyModel(t testing.TB, schema *features.Schema) *core.Model {
 	t.Helper()
 	frame := dataset.NewFrame(core.RecordColumns(schema)...)
 	ni := schema.Index(features.NumIndices)
