@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build lint test race stress bench results quick-results cover clean serve-smoke loop-smoke flight-smoke
+.PHONY: all build lint test race stress bench results quick-results cover clean serve-smoke loop-smoke flight-smoke fleet-smoke
 
-all: build lint test race flight-smoke
+all: build lint test race flight-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,13 @@ loop-smoke:
 # daemons, then validate both with apollo-inspect.
 flight-smoke:
 	GO="$(GO)" ./scripts/flight_smoke.sh
+
+# End-to-end smoke test of the fleet layer: three replicas with peer
+# delta sync, a champion converging to one version/ETag everywhere, a
+# synthetic client fleet surviving a kill of the ring-owner replica with
+# zero failed predicts, and a collective retrain over the merged spools.
+fleet-smoke:
+	GO="$(GO)" ./scripts/fleet_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,367 @@
+// Command apollo-fleet is the synthetic client-fleet load harness: it
+// runs many concurrent tuner+client instances against a multi-replica
+// model service and measures what the fleet layer promises — requests
+// keep succeeding through a replica kill, telemetry keeps flowing, and
+// tail latencies stay bounded.
+//
+//	apollo-fleet -replicas "r1=http://:8081,r2=http://:8082,r3=http://:8083" \
+//	    -model lulesh/policy -clients 8 -steps 40 -duration 10s
+//
+// Each synthetic client is a full deployment: a ring-routed FleetClient
+// with its own health checker, a polling model source, a tuner deciding
+// simulated kernel launches (rank-decomposed through the mpirt timer, so
+// the traffic has the strong-scaling shape of the paper's experiments),
+// a telemetry recorder, and a timed upload loop. On top of the simulated
+// launches every client probes the serving path itself with timed
+// /predict round trips.
+//
+// The final "apollo-fleet: done ..." line is machine-parsable
+// (key=value); scripts/fleet_smoke.sh asserts on failed_predicts,
+// failovers, and the recorded p99s.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"apollo/internal/app"
+	"apollo/internal/caliper"
+	"apollo/internal/client"
+	"apollo/internal/features"
+	"apollo/internal/fleet"
+	"apollo/internal/harness"
+	"apollo/internal/metrics"
+	"apollo/internal/mpirt"
+	"apollo/internal/platform"
+	"apollo/internal/raja"
+	"apollo/internal/telemetry"
+	"apollo/internal/tuner"
+)
+
+func main() {
+	replicas := flag.String("replicas", "", "fleet replicas as comma-separated id=url pairs (required)")
+	model := flag.String("model", "", "policy model name to tune with (required)")
+	appName := flag.String("app", "LULESH", "application: LULESH, CleverLeaf, or ARES")
+	problem := flag.String("problem", "sedov", "input deck")
+	size := flag.Int("size", 16, "global problem size")
+	clients := flag.Int("clients", 4, "concurrent synthetic clients")
+	steps := flag.Int("steps", 40, "minimum timesteps per client")
+	duration := flag.Duration("duration", 0, "minimum wall-clock run time per client (keeps stepping past -steps)")
+	ranks := flag.Int("ranks", 4, "simulated MPI ranks per client (mpirt decomposition)")
+	sampleEvery := flag.Uint64("sample-every", 1, "record one launch in this many (power of two)")
+	exploreEvery := flag.Uint64("explore-every", 8, "flip the chosen policy on every n-th launch (0 disables)")
+	poll := flag.Duration("poll", 500*time.Millisecond, "model source poll interval")
+	flush := flag.Duration("flush", 300*time.Millisecond, "telemetry upload interval")
+	health := flag.Duration("health", 250*time.Millisecond, "replica health-probe interval (0 disables eviction)")
+	noise := flag.Float64("noise", 0.05, "measurement noise amplitude")
+	seed := flag.Uint64("seed", 1, "noise seed (client i uses seed+i)")
+	metricsAddr := flag.String("metrics-addr", "", "serve fleet gauges on this address (empty disables)")
+	flag.Parse()
+
+	if _, err := run(*replicas, *model, *appName, *problem, *size, *clients, *steps, *ranks,
+		*sampleEvery, *exploreEvery, *duration, *poll, *flush, *health, *noise, *seed,
+		*metricsAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "apollo-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+// latencies accumulates round-trip samples from all clients.
+type latencies struct {
+	mu sync.Mutex
+	ns []float64
+}
+
+func (l *latencies) add(d time.Duration) {
+	l.mu.Lock()
+	l.ns = append(l.ns, float64(d.Nanoseconds()))
+	l.mu.Unlock()
+}
+
+// quantile returns the q-th (0..1) latency in microseconds.
+func (l *latencies) quantile(q float64) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ns) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), l.ns...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s[i] / 1e3
+}
+
+func (l *latencies) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ns)
+}
+
+// tally is one client's contribution to the fleet totals.
+type tally struct {
+	steps, decisions   int
+	predicts           int
+	failedPredicts     int
+	posts, failedPosts int
+	rows               uint64
+	swaps              uint64
+	failovers          uint64
+	exhausted          uint64
+	evictions          uint64
+}
+
+func run(replicaSpec, model, appName, problem string, size, clients, steps, ranks int,
+	sampleEvery, exploreEvery uint64, duration, poll, flush, healthEvery time.Duration,
+	noise float64, seed uint64, metricsAddr string) (tally, error) {
+	var totals tally
+	if model == "" {
+		return totals, fmt.Errorf("-model is required")
+	}
+	peers, err := fleet.ParsePeers(replicaSpec)
+	if err != nil {
+		return totals, err
+	}
+	if len(peers) == 0 {
+		return totals, fmt.Errorf("-replicas is required")
+	}
+	var desc app.Descriptor
+	found := false
+	for _, d := range harness.Apps() {
+		if d.Name == appName {
+			desc, found = d, true
+		}
+	}
+	if !found {
+		return totals, fmt.Errorf("unknown application %q", appName)
+	}
+	if clients < 1 {
+		clients = 1
+	}
+
+	predictLat, ingestLat := &latencies{}, &latencies{}
+	met := metrics.New()
+	var metRing *client.FleetClient // first client's ring feeds the gauges
+	var metMu sync.Mutex
+	// exportLive publishes what is observable mid-run: ring membership
+	// and the first client's failover/exhausted counters (every client
+	// sees the same ring, so one is representative).
+	exportLive := func() {
+		metMu.Lock()
+		ringClient := metRing
+		metMu.Unlock()
+		if ringClient == nil {
+			return
+		}
+		fleet.ExportRing(met, ringClient.Ring())
+		met.GaugeSet("apollo_fleet_failovers_total", "", "",
+			"Requests retried on a non-owner replica.", int64(ringClient.Failovers()))
+		met.GaugeSet("apollo_fleet_exhausted_total", "", "",
+			"Requests that failed on every replica.", int64(ringClient.Exhausted()))
+	}
+	exportMetrics := func(totals tally) {
+		exportLive()
+		met.GaugeSet("apollo_fleet_failovers_total", "", "",
+			"Requests retried on a non-owner replica.", int64(totals.failovers))
+		met.GaugeSet("apollo_fleet_exhausted_total", "", "",
+			"Requests that failed on every replica.", int64(totals.exhausted))
+		met.GaugeSet("apollo_fleet_evictions_total", "", "",
+			"Replicas evicted from a client ring by failed health probes.", int64(totals.evictions))
+	}
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return totals, err
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			met.WritePrometheus(w)
+		})
+		fmt.Printf("apollo-fleet: metrics on http://%s/metrics\n", ln.Addr())
+		go http.Serve(ln, mux)
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		stopExport := make(chan struct{})
+		defer close(stopExport)
+		go func() {
+			for {
+				select {
+				case <-stopExport:
+					return
+				case <-tick.C:
+					exportLive()
+				}
+			}
+		}()
+	}
+
+	fmt.Printf("apollo-fleet: %d clients x %d steps against %d replicas\n", clients, steps, len(peers))
+	results := make(chan tally, clients)
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			t, err := runClient(i, peers, model, desc, problem, size, steps, ranks,
+				sampleEvery, exploreEvery, duration, poll, flush, healthEvery,
+				noise, seed+uint64(i), predictLat, ingestLat, &metMu, &metRing)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", i, err)
+				return
+			}
+			results <- t
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		select {
+		case err := <-errs:
+			return totals, err
+		case t := <-results:
+			totals.steps += t.steps
+			totals.decisions += t.decisions
+			totals.predicts += t.predicts
+			totals.failedPredicts += t.failedPredicts
+			totals.posts += t.posts
+			totals.failedPosts += t.failedPosts
+			totals.rows += t.rows
+			totals.swaps += t.swaps
+			totals.failovers += t.failovers
+			totals.exhausted += t.exhausted
+			totals.evictions += t.evictions
+		}
+	}
+	exportMetrics(totals)
+
+	fmt.Printf("apollo-fleet: done clients=%d steps=%d decisions=%d predicts=%d failed_predicts=%d "+
+		"p50_predict_us=%.0f p99_predict_us=%.0f posts=%d failed_posts=%d p50_ingest_us=%.0f "+
+		"p99_ingest_us=%.0f rows=%d swaps=%d failovers=%d exhausted=%d evictions=%d\n",
+		clients, totals.steps, totals.decisions, totals.predicts, totals.failedPredicts,
+		predictLat.quantile(0.5), predictLat.quantile(0.99), totals.posts, totals.failedPosts,
+		ingestLat.quantile(0.5), ingestLat.quantile(0.99), totals.rows, totals.swaps,
+		totals.failovers, totals.exhausted, totals.evictions)
+	return totals, nil
+}
+
+// runClient is one synthetic deployment: tuner-driven simulated launches
+// plus timed serving-path probes, all through a ring-routed FleetClient.
+func runClient(idx int, peers []fleet.Peer, model string, desc app.Descriptor, problem string,
+	size, steps, ranks int, sampleEvery, exploreEvery uint64,
+	duration, poll, flush, healthEvery time.Duration, noise float64, seed uint64,
+	predictLat, ingestLat *latencies, metMu *sync.Mutex, metRing **client.FleetClient) (t tally, err error) {
+	// Named results: the health checker's eviction count is harvested in a
+	// defer after the final return statement has run.
+	f, err := client.NewFleet(fleet.PeerMap(peers), client.Options{})
+	if err != nil {
+		return t, err
+	}
+	metMu.Lock()
+	if *metRing == nil {
+		*metRing = f
+	}
+	metMu.Unlock()
+
+	if healthEvery > 0 {
+		h := fleet.NewHealth(peers, f.Ring(), fleet.HealthOptions{})
+		stop := h.Start(healthEvery)
+		defer func() { stop(); t.evictions = h.Evictions() }()
+	}
+
+	schema := features.TableI()
+	ann := caliper.New()
+	src := client.NewSource(f, schema, model, "")
+	if err := src.Refresh(); err != nil {
+		fmt.Fprintf(os.Stderr, "apollo-fleet: client %d starting degraded: %v\n", idx, err)
+	}
+	stopPoll := src.StartPolling(poll)
+	defer stopPoll()
+
+	rec := telemetry.NewRecorder(schema, ann, telemetry.Options{SampleEvery: sampleEvery})
+	machine := platform.SandyBridgeNode()
+	clk := platform.NewSimClock(machine, noise, seed)
+	ctx := raja.NewSimContext(clk, desc.DefaultParams)
+	tn := tuner.NewTuner(schema, ann, desc.DefaultParams).
+		UseSource(src).
+		UseTelemetry(rec).
+		ExploreEvery(exploreEvery)
+	timer := mpirt.NewTimer(tn, ann, ranks)
+	ctx.Hooks = timer
+	sim, err := desc.New(app.Config{Ctx: ctx, Ann: ann, Problem: problem, Size: size, Ranks: ranks})
+	if err != nil {
+		return t, err
+	}
+
+	// The upload loop is hand-rolled (not client.Uploader) so every
+	// ingest round trip is timed: drain the recorder, post the batch
+	// through the ring with failover, measure.
+	post := func() {
+		frame := rec.Drain(0)
+		if frame == nil || frame.Len() == 0 {
+			return
+		}
+		b := telemetry.NewBatch(model, frame)
+		t0 := time.Now()
+		err := f.PostTelemetry(b)
+		ingestLat.add(time.Since(t0))
+		t.posts++
+		if err != nil {
+			t.failedPosts++
+		} else {
+			t.rows += uint64(frame.Len())
+		}
+	}
+
+	x := make([]float64, schema.Len())
+	ni := schema.Index(features.NumIndices)
+	swapsAtStart := src.Swaps()
+	start := time.Now()
+	lastFlush := start
+	for step := 0; step < steps || time.Since(start) < duration; step++ {
+		before := clk.NowNS()
+		sim.Step()
+		// Work the hooks saw is decomposed per rank; the remainder
+		// partitions perfectly (same model as the scaling experiments).
+		extra := clk.NowNS() - before - timer.PendingNS()
+		if extra < 0 {
+			extra = 0
+		}
+		timer.StepBarrier(extra)
+		t.steps++
+
+		// One serving-path probe per step: a live /predict against the
+		// ring owner (failing over if it is gone).
+		x[ni] = float64(int(64) << (step % 8))
+		t0 := time.Now()
+		_, err := f.Predict(model, x)
+		predictLat.add(time.Since(t0))
+		t.predicts++
+		if err != nil {
+			t.failedPredicts++
+		}
+
+		if time.Since(lastFlush) >= flush {
+			post()
+			lastFlush = time.Now()
+		}
+		if duration > 0 && step >= steps {
+			// Past the minimum step count we only keep the loop alive for
+			// -duration; pace to the service cadence instead of spinning.
+			time.Sleep(flush / 4)
+		}
+	}
+	post()
+
+	t.decisions = int(tn.Decisions())
+	t.swaps = src.Swaps() - swapsAtStart
+	t.failovers = f.Failovers()
+	t.exhausted = f.Exhausted()
+	return t, nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"apollo/internal/core"
+	"apollo/internal/dataset"
+	"apollo/internal/features"
+	"apollo/internal/raja"
+	"apollo/internal/registry"
+	"apollo/internal/server"
+)
+
+func testModel(t *testing.T) *core.Model {
+	t.Helper()
+	schema := features.TableI()
+	frame := dataset.NewFrame(core.RecordColumns(schema)...)
+	ni := schema.Index(features.NumIndices)
+	for _, n := range []int{32, 256, 2048, 16384, 131072} {
+		for _, pol := range []raja.Policy{raja.SeqExec, raja.OmpParallelForExec} {
+			row := make([]float64, schema.Len()+3)
+			row[ni] = float64(n)
+			row[schema.Len()] = float64(pol)
+			if pol == raja.SeqExec {
+				row[schema.Len()+2] = float64(n) * 10
+			} else {
+				row[schema.Len()+2] = 8000 + float64(n)*10/8
+			}
+			frame.AddRow(row)
+		}
+	}
+	set, err := core.Label(frame, schema, core.ExecutionPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Train(set, core.TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestHarnessEndToEnd runs a tiny fleet load: two synthetic clients
+// against three in-process replicas, with the second replica killed
+// mid-run. No predict may fail and the summary tallies must move.
+func TestHarnessEndToEnd(t *testing.T) {
+	m := testModel(t)
+	spec := ""
+	var victim *httptest.Server
+	for _, id := range []string{"r1", "r2", "r3"} {
+		reg := registry.New()
+		if _, err := reg.Publish("lulesh/policy", m); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(server.New(reg, server.WithTelemetryDir(t.TempDir())).Handler())
+		defer ts.Close()
+		if victim == nil {
+			victim = ts
+		}
+		if spec != "" {
+			spec += ","
+		}
+		spec += id + "=" + ts.URL
+	}
+
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		victim.Close()
+	}()
+	totals, err := run(spec, "lulesh/policy", "LULESH", "sedov", 8, 2, 5, 2,
+		1, 8, time.Second, 100*time.Millisecond, 50*time.Millisecond, 50*time.Millisecond,
+		0.05, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.failedPredicts != 0 {
+		t.Errorf("%d predicts failed through the replica kill", totals.failedPredicts)
+	}
+	if totals.failedPosts != 0 || totals.exhausted != 0 {
+		t.Errorf("telemetry dropped: failed_posts=%d exhausted=%d", totals.failedPosts, totals.exhausted)
+	}
+	if totals.predicts == 0 || totals.decisions == 0 || totals.rows == 0 {
+		t.Errorf("no traffic recorded: %+v", totals)
+	}
+}
+
+func TestHarnessRejectsBadFlags(t *testing.T) {
+	if _, err := run("", "m", "LULESH", "sedov", 8, 1, 1, 1, 1, 8,
+		0, time.Second, time.Second, 0, 0, 1, ""); err == nil {
+		t.Fatal("missing -replicas accepted")
+	}
+	if _, err := run("a=http://x", "", "LULESH", "sedov", 8, 1, 1, 1, 1, 8,
+		0, time.Second, time.Second, 0, 0, 1, ""); err == nil {
+		t.Fatal("missing -model accepted")
+	}
+	if _, err := run("a=http://x", "m", "NoSuchApp", "sedov", 8, 1, 1, 1, 1, 8,
+		0, time.Second, time.Second, 0, 0, 1, ""); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

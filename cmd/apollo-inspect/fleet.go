@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"apollo/internal/fleet"
+)
+
+// runFleetCmd implements "apollo-inspect fleet": probe every replica's
+// health and model list and report whether the fleet has converged —
+// same version AND same content ETag for every model on every live
+// replica. Exit status is non-zero on divergence or unreachable
+// replicas, so smoke scripts can assert convergence with one call.
+func runFleetCmd(args []string) error {
+	fs := flag.NewFlagSet("apollo-inspect fleet", flag.ContinueOnError)
+	replicas := fs.String("replicas", "", "fleet replicas as comma-separated id=url pairs (required)")
+	timeout := fs.Duration("timeout", 3*time.Second, "per-replica probe timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	peers, err := fleet.ParsePeers(*replicas)
+	if err != nil {
+		return err
+	}
+	if len(peers) == 0 {
+		return fmt.Errorf("-replicas is required")
+	}
+	return inspectFleet(peers, &http.Client{Timeout: *timeout})
+}
+
+// replicaModels is one replica's view of the registry.
+type replicaModels struct {
+	peer   fleet.Peer
+	up     bool
+	err    error
+	models map[string]modelVersion
+}
+
+type modelVersion struct {
+	Version int    `json:"version"`
+	ETag    string `json:"etag"`
+}
+
+func inspectFleet(peers []fleet.Peer, hc *http.Client) error {
+	views := make([]replicaModels, 0, len(peers))
+	for _, p := range peers {
+		views = append(views, probeReplica(p, hc))
+	}
+
+	// Per-replica status lines first.
+	unreachable := 0
+	for _, v := range views {
+		if !v.up {
+			unreachable++
+			fmt.Printf("replica %-8s %-24s DOWN (%v)\n", v.peer.ID, v.peer.Base, v.err)
+			continue
+		}
+		fmt.Printf("replica %-8s %-24s up, %d model(s)\n", v.peer.ID, v.peer.Base, len(v.models))
+	}
+
+	// Convergence verdict per model name across live replicas.
+	names := map[string]bool{}
+	for _, v := range views {
+		for name := range v.models {
+			names[name] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	diverged := 0
+	for _, name := range sorted {
+		var first *modelVersion
+		missing := 0
+		same := true
+		for _, v := range views {
+			if !v.up {
+				continue
+			}
+			mv, ok := v.models[name]
+			if !ok {
+				missing++
+				continue
+			}
+			if first == nil {
+				c := mv
+				first = &c
+			} else if mv.Version != first.Version || mv.ETag != first.ETag {
+				same = false
+			}
+		}
+		switch {
+		case !same:
+			diverged++
+			fmt.Printf("model %-28s DIVERGED\n", name)
+			for _, v := range views {
+				if mv, ok := v.models[name]; v.up && ok {
+					fmt.Printf("  %-8s v%-4d %s\n", v.peer.ID, mv.Version, mv.ETag)
+				}
+			}
+		case missing > 0:
+			diverged++
+			fmt.Printf("model %-28s MISSING on %d live replica(s)\n", name, missing)
+		default:
+			fmt.Printf("model %-28s converged v%d %s\n", name, first.Version, first.ETag)
+		}
+	}
+
+	if diverged > 0 || unreachable > 0 {
+		return fmt.Errorf("fleet not converged: %d diverged/missing model(s), %d unreachable replica(s)",
+			diverged, unreachable)
+	}
+	fmt.Printf("fleet converged: %d replica(s), %d model(s)\n", len(views), len(sorted))
+	return nil
+}
+
+func probeReplica(p fleet.Peer, hc *http.Client) replicaModels {
+	v := replicaModels{peer: p, models: map[string]modelVersion{}}
+	resp, err := hc.Get(p.Base + "/healthz")
+	if err != nil {
+		v.err = err
+		return v
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		v.err = fmt.Errorf("healthz: %s", resp.Status)
+		return v
+	}
+	resp, err = hc.Get(p.Base + "/models")
+	if err != nil {
+		v.err = err
+		return v
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Models []struct {
+			Name string `json:"name"`
+			modelVersion
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&list); err != nil {
+		v.err = fmt.Errorf("decoding model list: %w", err)
+		return v
+	}
+	v.up = true
+	for _, m := range list.Models {
+		v.models[m.Name] = m.modelVersion
+	}
+	return v
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"apollo/internal/core"
+	"apollo/internal/dataset"
+	"apollo/internal/features"
+	"apollo/internal/raja"
+	"apollo/internal/registry"
+	"apollo/internal/server"
+)
+
+func fleetModel(t *testing.T, scale float64) *core.Model {
+	t.Helper()
+	schema := features.TableI()
+	frame := dataset.NewFrame(core.RecordColumns(schema)...)
+	ni := schema.Index(features.NumIndices)
+	for _, n := range []int{32, 2048, 131072} {
+		for _, pol := range []raja.Policy{raja.SeqExec, raja.OmpParallelForExec} {
+			row := make([]float64, schema.Len()+3)
+			row[ni] = float64(n)
+			row[schema.Len()] = float64(pol)
+			if pol == raja.SeqExec {
+				row[schema.Len()+2] = float64(n) * 10 * scale
+			} else {
+				row[schema.Len()+2] = 8000 + float64(n)*scale
+			}
+			frame.AddRow(row)
+		}
+	}
+	set, err := core.Label(frame, schema, core.ExecutionPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Train(set, core.TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFleetCmdConvergenceVerdict(t *testing.T) {
+	regA, regB := registry.New(), registry.New()
+	tsA := httptest.NewServer(server.New(regA).Handler())
+	defer tsA.Close()
+	tsB := httptest.NewServer(server.New(regB).Handler())
+	defer tsB.Close()
+	spec := "-replicas=a=" + tsA.URL + ",b=" + tsB.URL
+
+	m := fleetModel(t, 1)
+	if _, err := regA.Publish("lulesh/policy", m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regB.Publish("lulesh/policy", m); err != nil {
+		t.Fatal(err)
+	}
+	// Same version, same deterministic envelope: converged.
+	if err := runFleetCmd([]string{spec}); err != nil {
+		t.Fatalf("converged fleet judged broken: %v", err)
+	}
+
+	// Independent different publish on one replica: diverged.
+	if _, err := regB.Publish("lulesh/policy", fleetModel(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFleetCmd([]string{spec}); err == nil {
+		t.Fatal("diverged fleet judged converged")
+	}
+
+	// A dead replica also fails the verdict.
+	tsB.Close()
+	if err := runFleetCmd([]string{spec}); err == nil {
+		t.Fatal("dead replica judged healthy")
+	}
+
+	if err := runFleetCmd([]string{"-replicas="}); err == nil {
+		t.Fatal("missing -replicas accepted")
+	}
+}

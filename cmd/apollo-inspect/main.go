@@ -8,6 +8,9 @@
 //	                                             decision-path histogram
 //	apollo-inspect flight -url http://127.0.0.1:9999/debug/apollo/flight
 //	apollo-inspect trace -in trace.json          validate a Chrome trace
+//	apollo-inspect fleet -replicas "r1=http://:8081,r2=http://:8082"
+//	                                             per-replica health and
+//	                                             model-convergence verdict
 package main
 
 import (
@@ -27,6 +30,8 @@ func main() {
 			err = runFlightCmd(os.Args[2:])
 		case "trace":
 			err = runTraceCmd(os.Args[2:])
+		case "fleet":
+			err = runFleetCmd(os.Args[2:])
 		default:
 			err = runModelCmd(os.Args[1:])
 		}

@@ -14,6 +14,12 @@
 //	                      {"batch":[[...],...]} | {"features":{name:v}}
 //	GET  /healthz         liveness
 //	GET  /metrics         Prometheus text format
+//
+// Fleet mode: -id names this replica and -peers lists the others
+// (id=url pairs). The replica then polls its peers' model lists every
+// -sync and pulls any strictly newer version, so a champion published on
+// one replica converges on all of them with its version and content
+// ETag intact.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"apollo/internal/fleet"
 	"apollo/internal/flight"
 	"apollo/internal/registry"
 	"apollo/internal/server"
@@ -39,11 +46,14 @@ func main() {
 	poll := flag.Duration("poll", 2*time.Second, "watcher poll interval for external model-file changes (0 disables)")
 	telemetry := flag.String("telemetry", "", "telemetry spool directory; enables POST /telemetry ingestion")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/apollo/{flight,trace} and pprof on this separate address (empty disables)")
+	id := flag.String("id", "", "fleet replica id (used to skip self in -peers)")
+	peers := flag.String("peers", "", "fleet peers as comma-separated id=url pairs; enables model sync")
+	sync := flag.Duration("sync", 2*time.Second, "fleet model-sync poll interval")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *dir, *telemetry, *debugAddr, *poll, nil, nil); err != nil {
+	if err := run(ctx, *addr, *dir, *telemetry, *debugAddr, *id, *peers, *poll, *sync, nil, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "apollo-serve:", err)
 		os.Exit(1)
 	}
@@ -53,11 +63,26 @@ func main() {
 // are called with the bound listener addresses once each server is
 // accepting connections (tests and port-0 wrappers use them to learn the
 // actual ports).
-func run(ctx context.Context, addr, dir, telemetryDir, debugAddr string, poll time.Duration,
-	ready, debugReady func(net.Addr)) error {
+func run(ctx context.Context, addr, dir, telemetryDir, debugAddr, id, peerSpec string,
+	poll, sync time.Duration, ready, debugReady func(net.Addr)) error {
 	reg, err := registry.Open(dir)
 	if err != nil {
 		return err
+	}
+	peers, err := fleet.ParsePeers(peerSpec)
+	if err != nil {
+		return err
+	}
+	// Operators hand every replica the same -peers list; each one skips
+	// itself by -id so it never pulls its own publishes.
+	if id != "" {
+		kept := peers[:0]
+		for _, p := range peers {
+			if p.ID != id {
+				kept = append(kept, p)
+			}
+		}
+		peers = kept
 	}
 	var opts []server.Option
 	if telemetryDir != "" {
@@ -97,6 +122,33 @@ func run(ctx context.Context, addr, dir, telemetryDir, debugAddr string, poll ti
 		srv.NoteReload(n)
 		fmt.Printf("apollo-serve: hot-reloaded %d model(s) from %s\n", n, dir)
 	})
+
+	if len(peers) > 0 {
+		sn := fleet.NewSyncer(reg, peers, fleet.SyncerOptions{
+			Logf: func(format string, args ...any) {
+				fmt.Printf("apollo-serve: "+format+"\n", args...)
+			},
+		})
+		fmt.Printf("apollo-serve: syncing models from %d peer(s) every %v\n", len(peers), sync)
+		go func() {
+			t := time.NewTicker(sync)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					// A pulled model is a hot reload from the fleet's point
+					// of view: connected tuners pick it up on their next
+					// conditional GET.
+					if n := sn.SyncOnce(); n > 0 {
+						srv.NoteReload(n)
+					}
+					sn.ExportMetrics(srv.Metrics())
+				}
+			}
+		}()
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

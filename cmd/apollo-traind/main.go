@@ -13,6 +13,14 @@
 // With -once the daemon runs a single poll-check-retrain step and exits,
 // which makes it scriptable (cron, CI smoke tests). -metrics-addr serves
 // the loop counters in Prometheus text format.
+//
+// Collective training (fleet mode): -spools takes id=dir pairs naming
+// every replica's spool root, and the trainer tails their union, so the
+// window holds the whole fleet's observations of the model. -replicas
+// takes id=url pairs; each replica's current champion becomes a publish
+// incumbent the challenger must beat on the holdout before shipping.
+// Setting APOLLO_COLLECTIVE_TRAINING=0 in the environment collapses both
+// back to single-replica behavior without editing the command line.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -32,32 +41,59 @@ import (
 	"apollo/internal/core"
 	"apollo/internal/drift"
 	"apollo/internal/features"
+	"apollo/internal/fleet"
 	"apollo/internal/flight"
 	"apollo/internal/metrics"
 	"apollo/internal/telemetry"
 	"apollo/internal/trainer"
 )
 
+// daemonConfig is everything run needs; main fills it from flags, tests
+// fill it directly.
+type daemonConfig struct {
+	serverURL string
+	spool     string // single-replica spool root
+	spools    string // collective: id=dir per replica spool root
+	replicas  string // collective: id=url per replica service
+	model     string
+	param     string
+	interval  time.Duration
+	once      bool
+
+	metricsAddr string
+	debugAddr   string
+
+	mispredict    float64
+	shift         float64
+	minRows       int
+	maxRegression float64
+	holdout       float64
+
+	debugReady func(net.Addr)
+}
+
 func main() {
-	serverURL := flag.String("server", "http://127.0.0.1:8080", "model service base URL")
-	spool := flag.String("spool", "apollo-spool", "telemetry spool root (apollo-serve -telemetry dir)")
-	model := flag.String("model", "", "model name to keep trained (required)")
-	param := flag.String("param", "execution_policy", "parameter to train: execution_policy or chunk_size")
-	interval := flag.Duration("interval", 5*time.Second, "poll-check-retrain cadence")
-	once := flag.Bool("once", false, "run one step and exit")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on this address (empty disables)")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/apollo/{flight,trace} and pprof on this address (empty disables)")
-	mispredict := flag.Float64("mispredict", 0.25, "mispredict-rate retrain threshold")
-	shift := flag.Float64("shift", 6, "feature-shift (z-score) retrain threshold")
-	minRows := flag.Int("min-rows", 8, "smallest labeled window worth judging")
-	maxRegression := flag.Float64("max-regression", 0.02, "tolerated challenger predicted-time regression")
-	holdout := flag.Float64("holdout", 0.25, "holdout fraction for the champion/challenger duel")
+	var cfg daemonConfig
+	flag.StringVar(&cfg.serverURL, "server", "http://127.0.0.1:8080", "model service base URL (publish target)")
+	flag.StringVar(&cfg.spool, "spool", "apollo-spool", "telemetry spool root (apollo-serve -telemetry dir)")
+	flag.StringVar(&cfg.spools, "spools", "", "collective training: comma-separated id=dir spool roots, one per replica (overrides -spool)")
+	flag.StringVar(&cfg.replicas, "replicas", "", "collective training: comma-separated id=url fleet replicas whose champions gate publishes")
+	flag.StringVar(&cfg.model, "model", "", "model name to keep trained (required)")
+	flag.StringVar(&cfg.param, "param", "execution_policy", "parameter to train: execution_policy or chunk_size")
+	flag.DurationVar(&cfg.interval, "interval", 5*time.Second, "poll-check-retrain cadence")
+	flag.BoolVar(&cfg.once, "once", false, "run one step and exit")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics on this address (empty disables)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/apollo/{flight,trace} and pprof on this address (empty disables)")
+	flag.Float64Var(&cfg.mispredict, "mispredict", 0.25, "mispredict-rate retrain threshold")
+	flag.Float64Var(&cfg.shift, "shift", 6, "feature-shift (z-score) retrain threshold")
+	flag.IntVar(&cfg.minRows, "min-rows", 8, "smallest labeled window worth judging")
+	flag.Float64Var(&cfg.maxRegression, "max-regression", 0.02, "tolerated challenger predicted-time regression")
+	flag.Float64Var(&cfg.holdout, "holdout", 0.25, "holdout fraction for the champion/challenger duel")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *serverURL, *spool, *model, *param, *interval, *once, *metricsAddr,
-		*debugAddr, *mispredict, *shift, *minRows, *maxRegression, *holdout, nil); err != nil {
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "apollo-traind:", err)
 		os.Exit(1)
 	}
@@ -69,35 +105,83 @@ var trainerSiteFeatures = []string{
 	"new_rows", "window_rows", "trigger", "retrained", "published", "version",
 }
 
-func run(ctx context.Context, serverURL, spool, model, param string, interval time.Duration,
-	once bool, metricsAddr, debugAddr string, mispredict, shift float64, minRows int,
-	maxRegression, holdout float64, debugReady func(net.Addr)) error {
+// collectiveEnabled applies the APOLLO_COLLECTIVE_TRAINING switch: the
+// fleet flags opt in, the env var (0/false) forces single-replica
+// behavior without rewriting the command line.
+func collectiveEnabled(cfg daemonConfig) bool {
+	if cfg.spools == "" && cfg.replicas == "" {
+		return false
+	}
+	switch strings.ToLower(os.Getenv("APOLLO_COLLECTIVE_TRAINING")) {
+	case "0", "false", "off":
+		return false
+	}
+	return true
+}
+
+func run(ctx context.Context, cfg daemonConfig) error {
+	model := cfg.model
 	if model == "" {
 		return fmt.Errorf("-model is required")
 	}
 	var p core.Parameter
-	switch param {
+	switch cfg.param {
 	case "execution_policy":
 		p = core.ExecutionPolicy
 	case "chunk_size":
 		p = core.ChunkSize
 	default:
-		return fmt.Errorf("unknown -param %q", param)
+		return fmt.Errorf("unknown -param %q", cfg.param)
 	}
 
-	cur := telemetry.NewCursor(filepath.Join(spool, filepath.FromSlash(model)))
-	pub := trainer.NewClientPublisher(client.New(serverURL, client.Options{}))
+	collective := collectiveEnabled(cfg)
+	var cur trainer.Cursor
+	var merged *fleet.MergedCursor
+	if collective && cfg.spools != "" {
+		roots, err := fleet.ParsePeers(cfg.spools)
+		if err != nil {
+			return fmt.Errorf("-spools: %w", err)
+		}
+		sources := make(map[string]string, len(roots))
+		for _, r := range roots {
+			sources[r.ID] = filepath.Join(r.Base, filepath.FromSlash(model))
+		}
+		merged, err = fleet.NewMergedCursor(sources)
+		if err != nil {
+			return err
+		}
+		cur = merged
+		fmt.Printf("apollo-traind: collective training over %d spools\n", len(sources))
+	} else {
+		cur = telemetry.NewCursor(filepath.Join(cfg.spool, filepath.FromSlash(model)))
+	}
+
+	var incumbents []trainer.Publisher
+	if collective && cfg.replicas != "" {
+		peers, err := fleet.ParsePeers(cfg.replicas)
+		if err != nil {
+			return fmt.Errorf("-replicas: %w", err)
+		}
+		for _, peer := range peers {
+			incumbents = append(incumbents,
+				trainer.NewClientPublisher(client.New(peer.Base, client.Options{})))
+		}
+		fmt.Printf("apollo-traind: publishes gated on %d replica incumbents\n", len(incumbents))
+	}
+
+	pub := trainer.NewClientPublisher(client.New(cfg.serverURL, client.Options{}))
 	tr, err := trainer.New(cur, pub, trainer.Config{
 		Name:   model,
 		Param:  p,
 		Schema: features.TableI(),
 		Drift: drift.Config{
-			MinRows:             minRows,
-			MispredictThreshold: mispredict,
-			ShiftThreshold:      shift,
+			MinRows:             cfg.minRows,
+			MispredictThreshold: cfg.mispredict,
+			ShiftThreshold:      cfg.shift,
 		},
-		MaxRegression: maxRegression,
-		Holdout:       holdout,
+		MaxRegression: cfg.maxRegression,
+		Holdout:       cfg.holdout,
+		Incumbents:    incumbents,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("apollo-traind: "+format+"\n", args...)
 		},
@@ -113,20 +197,20 @@ func run(ctx context.Context, serverURL, spool, model, param string, interval ti
 	h.Write([]byte("apollo-traind/" + model))
 	siteID := h.Sum64()
 	fr.RegisterSite(siteID, "traind:"+model, trainerSiteFeatures)
-	if debugAddr != "" {
-		dln, err := net.Listen("tcp", debugAddr)
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
 		if err != nil {
 			return err
 		}
 		defer dln.Close()
 		fmt.Printf("apollo-traind: debug on http://%s/debug/apollo/flight\n", dln.Addr())
-		if debugReady != nil {
-			debugReady(dln.Addr())
+		if cfg.debugReady != nil {
+			cfg.debugReady(dln.Addr())
 		}
 		go http.Serve(dln, flight.DebugMux(fr))
 	}
-	if metricsAddr != "" {
-		ln, err := net.Listen("tcp", metricsAddr)
+	if cfg.metricsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.metricsAddr)
 		if err != nil {
 			return err
 		}
@@ -184,18 +268,26 @@ func run(ctx context.Context, serverURL, spool, model, param string, interval ti
 		gauge("apollo_trainer_retrains_total", "Challengers trained.", int64(tr.Retrains()))
 		gauge("apollo_trainer_publishes_total", "Challengers published.", int64(tr.Publishes()))
 		gauge("apollo_trainer_rejects_total", "Challengers rejected by the holdout duel.", int64(tr.Rejects()))
-		if once || res.NewRows > 0 {
+		gauge("apollo_trainer_incumbent_vetoes_total", "Publishes blocked by a fleet incumbent.", int64(tr.Vetoes()))
+		if merged != nil {
+			merged.ExportMetrics(met)
+		}
+		if cfg.once || res.NewRows > 0 {
 			fmt.Printf("apollo-traind: step new_rows=%d window=%d trigger=%v retrained=%v published=%v version=%d\n",
 				res.NewRows, res.WindowRows, res.Trigger != nil, res.Retrained, res.Published, res.Version)
 		}
 		return nil
 	}
 
-	if once {
+	if cfg.once {
 		return step()
 	}
-	fmt.Printf("apollo-traind: watching %s for %s every %v\n", spool, model, interval)
-	tick := time.NewTicker(interval)
+	watching := cfg.spool
+	if merged != nil {
+		watching = cfg.spools
+	}
+	fmt.Printf("apollo-traind: watching %s for %s every %v\n", watching, model, cfg.interval)
+	tick := time.NewTicker(cfg.interval)
 	defer tick.Stop()
 	for {
 		select {

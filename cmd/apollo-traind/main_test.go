@@ -1,6 +1,15 @@
 package main
 
 import (
+	"net/http/httptest"
+	"path/filepath"
+
+	"apollo/internal/core"
+	"apollo/internal/features"
+	"apollo/internal/raja"
+	"apollo/internal/registry"
+	"apollo/internal/server"
+	"apollo/internal/telemetry"
 	"context"
 	"encoding/json"
 	"net"
@@ -18,9 +27,20 @@ func TestTraindDebugEndpoints(t *testing.T) {
 	debugAddrs := make(chan net.Addr, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, "http://127.0.0.1:1", t.TempDir(), "loop/policy", "execution_policy",
-			10*time.Millisecond, false, "", "127.0.0.1:0",
-			0.25, 6, 8, 0.02, 0.25, func(a net.Addr) { debugAddrs <- a })
+		errc <- run(ctx, daemonConfig{
+			serverURL:     "http://127.0.0.1:1",
+			spool:         t.TempDir(),
+			model:         "loop/policy",
+			param:         "execution_policy",
+			interval:      10 * time.Millisecond,
+			debugAddr:     "127.0.0.1:0",
+			mispredict:    0.25,
+			shift:         6,
+			minRows:       8,
+			maxRegression: 0.02,
+			holdout:       0.25,
+			debugReady:    func(a net.Addr) { debugAddrs <- a },
+		})
 	}()
 	var debugBase string
 	select {
@@ -103,9 +123,92 @@ func TestTraindDebugEndpoints(t *testing.T) {
 }
 
 func TestTraindRequiresModel(t *testing.T) {
-	err := run(context.Background(), "http://127.0.0.1:1", t.TempDir(), "", "execution_policy",
-		time.Second, true, "", "", 0.25, 6, 8, 0.02, 0.25, nil)
+	err := run(context.Background(), daemonConfig{
+		serverURL: "http://127.0.0.1:1", spool: t.TempDir(), param: "execution_policy",
+		interval: time.Second, once: true,
+		mispredict: 0.25, shift: 6, minRows: 8, maxRegression: 0.02, holdout: 0.25,
+	})
 	if err == nil {
 		t.Fatal("missing -model accepted")
+	}
+}
+
+// TestTraindCollectiveFlags checks the fleet plumbing end to end in one
+// -once step: two replica spools merge into the training window, the
+// bootstrap publishes to the target service, and the env kill switch
+// collapses back to single-spool mode.
+func TestTraindCollectiveFlags(t *testing.T) {
+	reg := registry.New()
+	ts := httptest.NewServer(server.New(reg).Handler())
+	defer ts.Close()
+
+	rootA, rootB := t.TempDir(), t.TempDir()
+	fillSpool(t, filepath.Join(rootA, "loop/policy"), []float64{32, 256, 2048})
+	fillSpool(t, filepath.Join(rootB, "loop/policy"), []float64{16384, 131072})
+
+	cfg := daemonConfig{
+		serverURL: ts.URL,
+		spools:    "a=" + rootA + ",b=" + rootB,
+		replicas:  "a=" + ts.URL,
+		model:     "loop/policy", param: "execution_policy",
+		interval: time.Second, once: true,
+		mispredict: 0.25, shift: 6, minRows: 4, maxRegression: 0.02, holdout: 0.25,
+	}
+	if !collectiveEnabled(cfg) {
+		t.Fatal("fleet flags did not enable collective training")
+	}
+	t.Setenv("APOLLO_COLLECTIVE_TRAINING", "0")
+	if collectiveEnabled(cfg) {
+		t.Fatal("APOLLO_COLLECTIVE_TRAINING=0 did not disable collective training")
+	}
+	t.Setenv("APOLLO_COLLECTIVE_TRAINING", "1")
+
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := reg.Get("loop/policy")
+	if !ok || e.Version != 1 {
+		t.Fatalf("collective bootstrap did not publish: %+v ok=%v", e, ok)
+	}
+	// Neither spool alone holds the full crossover window; the model only
+	// learns the small-kernel seq choice from the union.
+	proj := e.Model.NewProjector(features.TableI())
+	x := make([]float64, features.TableI().Len())
+	x[features.TableI().Index(features.NumIndices)] = 64
+	if proj.Predict(x) != int(raja.SeqExec) {
+		t.Error("collective model picks omp for 64 indices")
+	}
+}
+
+// fillSpool writes crossover telemetry (seq wins small, omp wins large)
+// for the given index counts.
+func fillSpool(t *testing.T, dir string, ns []float64) {
+	t.Helper()
+	sp, err := telemetry.OpenSpool(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := features.TableI()
+	cols := core.RecordColumns(schema)
+	ni := schema.Index(features.NumIndices)
+	var rows [][]float64
+	for _, n := range ns {
+		for _, pol := range []raja.Policy{raja.SeqExec, raja.OmpParallelForExec} {
+			row := make([]float64, len(cols))
+			row[ni] = n
+			row[len(cols)-3] = float64(pol)
+			if pol == raja.SeqExec {
+				row[len(cols)-1] = n * 10
+			} else {
+				row[len(cols)-1] = 8000 + n*10/8
+			}
+			rows = append(rows, row)
+		}
+	}
+	if err := sp.Append(cols, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

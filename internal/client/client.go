@@ -63,7 +63,7 @@ type Client struct {
 
 	initialBackoff time.Duration
 	maxBackoff     time.Duration
-	now            func() time.Time // injectable for backoff tests
+	nowFn          func() time.Time // injectable for backoff tests
 	rand           func() float64   // injectable jitter source in [0,1)
 
 	// models is copy-on-write behind an atomic pointer: Predict reads it
@@ -117,7 +117,7 @@ func New(base string, opts Options) *Client {
 		hc:             opts.HTTPClient,
 		initialBackoff: opts.InitialBackoff,
 		maxBackoff:     opts.MaxBackoff,
-		now:            time.Now,
+		nowFn:          time.Now,
 		rand:           rand.Float64,
 		memoDirty:      map[string]int{},
 	}
@@ -285,6 +285,9 @@ func (c *Client) Fetch(name string) (*Cached, error) {
 		return nil, fmt.Errorf("client: fetching %s: %s", name, resp.Status)
 	}
 }
+
+// now reads the injectable clock (the Service interface's timing hook).
+func (c *Client) now() time.Time { return c.nowFn() }
 
 // ok clears the backoff after a successful round trip.
 func (c *Client) ok(st *modelState) {

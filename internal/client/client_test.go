@@ -183,7 +183,7 @@ func TestBackoffExpiresAndRecovers(t *testing.T) {
 	c.rand = func() float64 { return 1 } // pin jitter: deterministic windows
 	now := time.Now()
 	var mu sync.Mutex
-	c.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	c.nowFn = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
 
 	// Unknown model: 404 arms the backoff.
 	if _, err := c.Fetch("late/policy"); err == nil {

@@ -19,9 +19,11 @@ import (
 // picks up the retrained model at its next launch, with no restart and
 // no locking on the launch path. When the service has never been
 // reachable, the source stays empty and the tuner runs on its base
-// parameters (graceful degradation).
+// parameters (graceful degradation). Behind a *FleetClient the same
+// degradation path gains failover: a refresh that would have served a
+// stale copy from a dead replica is answered by the next ring member.
 type Source struct {
-	c          *Client
+	c          Service
 	schema     *features.Schema
 	policyName string // "" = no policy model
 	chunkName  string // "" = no chunk model
@@ -39,9 +41,10 @@ type Source struct {
 }
 
 // NewSource returns a source reading policyName and/or chunkName (either
-// may be empty) through c, projecting onto schema. Call Refresh (or
-// StartPolling) to populate it; until then the tuner sees an empty set.
-func NewSource(c *Client, schema *features.Schema, policyName, chunkName string) *Source {
+// may be empty) through c — a single-replica *Client or a ring-routed
+// *FleetClient — projecting onto schema. Call Refresh (or StartPolling)
+// to populate it; until then the tuner sees an empty set.
+func NewSource(c Service, schema *features.Schema, policyName, chunkName string) *Source {
 	s := &Source{c: c, schema: schema, policyName: policyName, chunkName: chunkName}
 	s.ps.Store(&tuner.Projectors{})
 	return s

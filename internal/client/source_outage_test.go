@@ -34,7 +34,7 @@ func TestSourceServesStaleThroughOutageAndSwapsOnce(t *testing.T) {
 	c := New(ts.URL, Options{InitialBackoff: time.Second, MaxBackoff: time.Minute})
 	var mu sync.Mutex
 	now := time.Unix(1000, 0)
-	c.now = func() time.Time {
+	c.nowFn = func() time.Time {
 		mu.Lock()
 		defer mu.Unlock()
 		return now

@@ -55,8 +55,11 @@ type UploaderOptions struct {
 // telemetry.Recorder to the model service in batches. Upload failures
 // keep the drained rows pending (bounded) and arm the client's
 // full-jitter backoff schedule so a down service is not hammered.
+// Behind a *FleetClient each post already failed over across the ring
+// before it counts as a failure here, so the backoff only arms when the
+// whole fleet is unreachable.
 type Uploader struct {
-	c     *Client
+	c     Service
 	model string
 	rec   *telemetry.Recorder
 	max   int
@@ -71,8 +74,9 @@ type Uploader struct {
 	discards atomic.Uint64 // pending rows discarded to the bound
 }
 
-// NewUploader returns an uploader shipping rec's samples as model name.
-func NewUploader(c *Client, model string, rec *telemetry.Recorder, opts UploaderOptions) *Uploader {
+// NewUploader returns an uploader shipping rec's samples as model name
+// through c (a *Client or a fleet-routed *FleetClient).
+func NewUploader(c Service, model string, rec *telemetry.Recorder, opts UploaderOptions) *Uploader {
 	if opts.MaxPending <= 0 {
 		opts.MaxPending = 16384
 	}

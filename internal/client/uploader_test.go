@@ -127,7 +127,7 @@ func TestUploaderRetainsPendingAcrossOutage(t *testing.T) {
 	c.rand = func() float64 { return 1 }
 	now := time.Now()
 	var nmu sync.Mutex
-	c.now = func() time.Time { nmu.Lock(); defer nmu.Unlock(); return now }
+	c.nowFn = func() time.Time { nmu.Lock(); defer nmu.Unlock(); return now }
 
 	rec := telemetry.NewRecorder(features.TableI(), nil, telemetry.Options{})
 	u := NewUploader(c, "app/policy", rec, UploaderOptions{})

@@ -1,0 +1,334 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"apollo/internal/core"
+	"apollo/internal/dataset"
+	"apollo/internal/features"
+	"apollo/internal/fleet/hashring"
+	"apollo/internal/raja"
+	"apollo/internal/registry"
+	"apollo/internal/server"
+	"apollo/internal/telemetry"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers(" r2=http://b:8080, r1=http://a:8080 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].ID != "r1" || peers[1].Base != "http://b:8080" {
+		t.Fatalf("parsed %+v", peers)
+	}
+	if _, err := ParsePeers("r1=http://a,r1=http://b"); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := ParsePeers("=http://a"); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if peers, err = ParsePeers("  "); err != nil || peers != nil {
+		t.Fatalf("blank flag: %v %v", peers, err)
+	}
+	m := PeerMap([]Peer{{ID: "x", Base: "http://x"}})
+	if m["x"] != "http://x" {
+		t.Fatalf("PeerMap: %v", m)
+	}
+}
+
+// trainModel builds a small real model so publishes carry honest
+// schema hashes and deterministic envelopes.
+func trainModel(t *testing.T, scale float64) *core.Model {
+	t.Helper()
+	schema := features.TableI()
+	frame := dataset.NewFrame(core.RecordColumns(schema)...)
+	ni := schema.Index(features.NumIndices)
+	for _, n := range []int{32, 512, 8192, 131072} {
+		for _, pol := range []raja.Policy{raja.SeqExec, raja.OmpParallelForExec} {
+			row := make([]float64, schema.Len()+3)
+			row[ni] = float64(n)
+			row[schema.Len()] = float64(pol)
+			if pol == raja.SeqExec {
+				row[schema.Len()+2] = float64(n) * 10 * scale
+			} else {
+				row[schema.Len()+2] = 8000 + float64(n)*scale
+			}
+			frame.AddRow(row)
+		}
+	}
+	set, err := core.Label(frame, schema, core.ExecutionPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Train(set, core.TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// newReplica stands up one in-process model service.
+func newReplica(t *testing.T) (*registry.Registry, *httptest.Server) {
+	t.Helper()
+	reg := registry.New()
+	ts := httptest.NewServer(server.New(reg, server.WithTelemetryDir(t.TempDir())).Handler())
+	t.Cleanup(ts.Close)
+	return reg, ts
+}
+
+func TestSyncerConvergesVersionAndETag(t *testing.T) {
+	regA, tsA := newReplica(t)
+	regB, tsB := newReplica(t)
+
+	// v1 everywhere, then v2 only on A: B must pull it with the version
+	// and content ETag intact (delta distribution, not re-publication).
+	m1 := trainModel(t, 1)
+	if _, err := regA.Publish("lulesh/policy", m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regB.Publish("lulesh/policy", m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regA.Publish("lulesh/policy", trainModel(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	sB := NewSyncer(regB, []Peer{{ID: "a", Base: tsA.URL}}, SyncerOptions{Logf: t.Logf})
+	if n := sB.SyncOnce(); n != 1 {
+		t.Fatalf("pulled %d models, want 1 (errors=%d)", n, sB.Errors())
+	}
+	ea, _ := regA.Get("lulesh/policy")
+	eb, ok := regB.Get("lulesh/policy")
+	if !ok || eb.Version != ea.Version || eb.ETag != ea.ETag {
+		t.Fatalf("no convergence: A v%d %s, B v%d %s", ea.Version, ea.ETag, eb.Version, eb.ETag)
+	}
+	// A second round is a no-op: nothing newer anywhere.
+	if n := sB.SyncOnce(); n != 0 {
+		t.Fatalf("steady-state round pulled %d models", n)
+	}
+
+	// Syncing A against B must not pull the same version back (no
+	// version ping-pong once converged).
+	sA := NewSyncer(regA, []Peer{{ID: "b", Base: tsB.URL}}, SyncerOptions{Logf: t.Logf})
+	if n := sA.SyncOnce(); n != 0 {
+		t.Fatalf("converged fleet still pulled %d models", n)
+	}
+	if sA.Divergences() != 0 || sB.Divergences() != 0 {
+		t.Fatal("converged fleet reported divergence")
+	}
+}
+
+func TestSyncerCountsDivergenceInsteadOfPulling(t *testing.T) {
+	regA, tsA := newReplica(t)
+	regB, _ := newReplica(t)
+
+	// Independent publishes of the same version with different content:
+	// a split champion. The syncer must flag it, not paper over it.
+	if _, err := regA.Publish("lulesh/policy", trainModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regB.Publish("lulesh/policy", trainModel(t, 7)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := regB.Get("lulesh/policy")
+
+	s := NewSyncer(regB, []Peer{{ID: "a", Base: tsA.URL}}, SyncerOptions{Logf: t.Logf})
+	if n := s.SyncOnce(); n != 0 {
+		t.Fatalf("diverged same-version model was pulled (%d)", n)
+	}
+	if s.Divergences() != 1 {
+		t.Fatalf("divergences = %d, want 1", s.Divergences())
+	}
+	after, _ := regB.Get("lulesh/policy")
+	if after.ETag != before.ETag {
+		t.Fatal("divergence handling rewrote the local model")
+	}
+}
+
+func TestSyncerToleratesDeadPeer(t *testing.T) {
+	regA, tsA := newReplica(t)
+	regB, _ := newReplica(t)
+	if _, err := regA.Publish("lulesh/policy", trainModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	s := NewSyncer(regB, []Peer{{ID: "dead", Base: dead.URL}, {ID: "a", Base: tsA.URL}},
+		SyncerOptions{Logf: t.Logf})
+	if n := s.SyncOnce(); n != 1 {
+		t.Fatalf("live peer not synced past the dead one (pulled %d)", n)
+	}
+	if s.Errors() == 0 {
+		t.Fatal("dead peer did not count as an error")
+	}
+}
+
+func TestHealthEvictsAndReadmits(t *testing.T) {
+	var sick atomic.Bool
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sick.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer flaky.Close()
+	_, healthy := newReplica(t)
+
+	ring := hashring.New(64)
+	ring.Add("flaky")
+	ring.Add("steady")
+	h := NewHealth([]Peer{{ID: "flaky", Base: flaky.URL}, {ID: "steady", Base: healthy.URL}},
+		ring, HealthOptions{FailAfter: 2, Logf: t.Logf})
+
+	if n := h.CheckOnce(); n != 2 {
+		t.Fatalf("healthy probe round: %d up, want 2", n)
+	}
+	sick.Store(true)
+	h.CheckOnce() // one failure: below threshold, membership must not churn
+	if ring.Len() != 2 || !h.Up("flaky") {
+		t.Fatal("single failed probe reshuffled the ring")
+	}
+	h.CheckOnce() // second consecutive failure: eviction
+	if ring.Len() != 1 || h.Up("flaky") {
+		t.Fatalf("flaky replica not evicted (ring len %d)", ring.Len())
+	}
+	if ring.Lookup("anything") != "steady" {
+		t.Fatal("keys not rerouted to the survivor")
+	}
+	if h.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", h.Evictions())
+	}
+	sick.Store(false)
+	h.CheckOnce() // first success readmits immediately
+	if ring.Len() != 2 || !h.Up("flaky") {
+		t.Fatal("recovered replica not readmitted")
+	}
+	if h.Probes() != 8 {
+		t.Fatalf("probes = %d, want 8", h.Probes())
+	}
+}
+
+func TestHealthStartStopIdempotent(t *testing.T) {
+	_, ts := newReplica(t)
+	ring := hashring.New(64)
+	ring.Add("a")
+	h := NewHealth([]Peer{{ID: "a", Base: ts.URL}}, ring, HealthOptions{})
+	stop := h.Start(time.Millisecond)
+	if again := h.Start(time.Millisecond); again == nil {
+		t.Fatal("second Start returned nil stop")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Probes() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if h.Probes() == 0 {
+		t.Fatal("background checker never probed")
+	}
+	stop()
+	stop() // must not panic or hang
+}
+
+// fillSpool appends n rows under the standard record layout.
+func fillSpool(t *testing.T, dir string, n int, base float64) {
+	t.Helper()
+	sp, err := telemetry.OpenSpool(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := core.RecordColumns(features.TableI())
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, len(cols))
+		row[0] = base + float64(i)
+		rows[i] = row
+	}
+	if err := sp.Append(cols, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergedCursorUnionsSpools(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	fillSpool(t, dirA, 3, 100)
+	fillSpool(t, dirB, 5, 200)
+	m, err := NewMergedCursor(map[string]string{"a": dirA, "b": dirB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil || f.Len() != 8 {
+		t.Fatalf("merged %v rows, want 8", f)
+	}
+	if rows := m.SourceRows(); rows["a"] != 3 || rows["b"] != 5 {
+		t.Fatalf("per-source rows %v", rows)
+	}
+	// Nothing new: quiet poll.
+	if f, err = m.Poll(); err != nil || f != nil {
+		t.Fatalf("quiet poll returned %v, %v", f, err)
+	}
+	// New rows on one source only still flow.
+	fillSpool(t, dirB, 2, 300)
+	if f, err = m.Poll(); err != nil || f == nil || f.Len() != 2 {
+		t.Fatalf("incremental poll returned %v, %v", f, err)
+	}
+	lag := m.MergeLag(time.Now().Add(time.Hour))
+	if lag["a"] <= lag["b"] {
+		t.Fatalf("idle source does not show more lag: %v", lag)
+	}
+}
+
+func TestMergedCursorSkipsMismatchedSource(t *testing.T) {
+	dirA, dirBad := t.TempDir(), t.TempDir()
+	fillSpool(t, dirA, 4, 0)
+	sp, err := telemetry.OpenSpool(dirBad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Append([]string{"wrong", "layout"}, [][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	sp.Close()
+	m, err := NewMergedCursor(map[string]string{"a": dirA, "z": dirBad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Poll()
+	if err != nil {
+		t.Fatalf("healthy source blocked by mismatched one: %v", err)
+	}
+	if f == nil || f.Len() != 4 {
+		t.Fatalf("merged %v rows, want 4 from the healthy source", f)
+	}
+	if m.LastErr() == nil {
+		t.Fatal("column mismatch not surfaced in LastErr")
+	}
+	if _, err := NewMergedCursor(nil); err == nil {
+		t.Fatal("empty source set accepted")
+	}
+}
+
+func TestMergedCursorToleratesAbsentSpool(t *testing.T) {
+	dirA := t.TempDir()
+	fillSpool(t, dirA, 2, 0)
+	// "ghost" points at a spool directory that does not exist yet — a
+	// replica that has ingested nothing. It must read as empty.
+	m, err := NewMergedCursor(map[string]string{"a": dirA, "ghost": t.TempDir() + "/never"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Poll()
+	if err != nil || f == nil || f.Len() != 2 {
+		t.Fatalf("poll with absent source: %v, %v", f, err)
+	}
+}

@@ -1,0 +1,204 @@
+package hashring
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// keys returns nKeys synthetic (app, model namespace) routing keys.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("app-%d/site-%d/policy", i%7, i)
+	}
+	return out
+}
+
+func TestLookupEmptyRing(t *testing.T) {
+	r := New(0)
+	if got := r.Lookup("a/b"); got != "" {
+		t.Fatalf("Lookup on empty ring = %q, want \"\"", got)
+	}
+	if got := r.LookupN("a/b", 2, nil); len(got) != 0 {
+		t.Fatalf("LookupN on empty ring = %v, want empty", got)
+	}
+}
+
+func TestLookupDeterministicAcrossJoinOrder(t *testing.T) {
+	a, b := New(64), New(64)
+	for _, id := range []string{"r1", "r2", "r3"} {
+		a.Add(id)
+	}
+	for _, id := range []string{"r3", "r1", "r2"} {
+		b.Add(id)
+	}
+	for _, k := range keys(500) {
+		if ga, gb := a.Lookup(k), b.Lookup(k); ga != gb {
+			t.Fatalf("join order changed routing for %q: %q vs %q", k, ga, gb)
+		}
+	}
+}
+
+func TestLookupNDistinctPreferenceOrder(t *testing.T) {
+	r := New(64)
+	for _, id := range []string{"r1", "r2", "r3"} {
+		r.Add(id)
+	}
+	for _, k := range keys(200) {
+		got := r.LookupN(k, 3, nil)
+		if len(got) != 3 {
+			t.Fatalf("LookupN(%q) = %v, want 3 members", k, got)
+		}
+		if got[0] != r.Lookup(k) {
+			t.Fatalf("LookupN(%q)[0] = %q, Lookup = %q", k, got[0], r.Lookup(k))
+		}
+		seen := map[string]bool{}
+		for _, id := range got {
+			if seen[id] {
+				t.Fatalf("LookupN(%q) repeated member %q: %v", k, id, got)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestRebalanceMovesExpectedFraction is the consistent-hashing contract:
+// growing a 3-replica ring to 4 must move about 1/4 of the keys (only
+// the share the newcomer takes over), not reshuffle everything, and
+// removing the newcomer must restore the original routing exactly.
+func TestRebalanceMovesExpectedFraction(t *testing.T) {
+	const nKeys = 20000
+	r := New(0)
+	for _, id := range []string{"r1", "r2", "r3"} {
+		r.Add(id)
+	}
+	ks := keys(nKeys)
+	before := make([]string, nKeys)
+	for i, k := range ks {
+		before[i] = r.Lookup(k)
+	}
+
+	r.Add("r4")
+	moved := 0
+	for i, k := range ks {
+		after := r.Lookup(k)
+		if after != before[i] {
+			// Keys may only move TO the new member, never between
+			// survivors — that is what bounds fleet-wide cache churn.
+			if after != "r4" {
+				t.Fatalf("key %q moved %q -> %q, not to the new member", k, before[i], after)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / nKeys
+	// Ideal is 1/4; vnode placement noise allows a band around it.
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("adding 4th member moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+
+	r.Remove("r4")
+	for i, k := range ks {
+		if got := r.Lookup(k); got != before[i] {
+			t.Fatalf("removal did not restore routing for %q: %q, want %q", k, got, before[i])
+		}
+	}
+}
+
+func TestOwnershipRoughlyUniform(t *testing.T) {
+	r := New(0)
+	members := []string{"r1", "r2", "r3", "r4"}
+	for _, id := range members {
+		r.Add(id)
+	}
+	own := r.Ownership()
+	var sum float64
+	for _, id := range members {
+		share := own[id]
+		sum += share
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of the space, want near 25%%", id, 100*share)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("ownership sums to %f, want 1", sum)
+	}
+}
+
+// TestConcurrentLookupDuringMembershipChange is the in-flight-traffic
+// half of the rebalancing contract: lookups racing Add/Remove must
+// always land on a member that was in the ring at some point during the
+// change window — never "" and never a torn read. Run under -race this
+// also proves the copy-on-write publication is sound.
+func TestConcurrentLookupDuringMembershipChange(t *testing.T) {
+	r := New(32)
+	r.Add("r1")
+	r.Add("r2")
+	valid := map[string]bool{"r1": true, "r2": true, "r3": true}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	routed := make([]int, 8)
+	for g := 0; g < len(routed); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ks := keys(64)
+			dst := make([]string, 0, 3)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, k := range ks {
+					if got := r.Lookup(k); !valid[got] {
+						t.Errorf("Lookup(%q) = %q during membership change", k, got)
+						return
+					}
+					dst = r.LookupN(k, 2, dst[:0])
+					if len(dst) == 0 {
+						t.Errorf("LookupN(%q) empty during membership change", k)
+						return
+					}
+					routed[g]++
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		r.Add("r3")
+		r.Remove("r3")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestLookupAllocs holds the routing decision to zero allocations — the
+// ring sits on the client's launch path next to Predict.
+func TestLookupAllocs(t *testing.T) {
+	r := New(0)
+	for _, id := range []string{"r1", "r2", "r3"} {
+		r.Add(id)
+	}
+	key := "lulesh/policy"
+	if n := testing.AllocsPerRun(100, func() { r.Lookup(key) }); n != 0 {
+		t.Fatalf("Lookup allocates %v times per call, want 0", n)
+	}
+	dst := make([]string, 0, 3)
+	if n := testing.AllocsPerRun(100, func() { dst = r.LookupN(key, 3, dst[:0]) }); n != 0 {
+		t.Fatalf("LookupN into reused buffer allocates %v times per call, want 0", n)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	r := New(0)
+	for i := 0; i < 8; i++ {
+		r.Add(fmt.Sprintf("replica-%d", i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Lookup("lulesh/policy")
+	}
+}

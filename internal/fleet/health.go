@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apollo/internal/metrics"
+)
+
+// HealthOptions tunes a Health checker; the zero value picks defaults.
+type HealthOptions struct {
+	// HTTPClient overrides the probe transport (default 2s timeout).
+	HTTPClient *http.Client
+	// FailAfter is how many consecutive probe failures evict a replica
+	// from the ring (default 2 — one lost probe must not reshuffle keys).
+	FailAfter int
+	// Logf receives up/down transitions (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Membership is what the checker drives: the hash ring (or anything
+// else that wants add/remove membership events).
+type Membership interface {
+	Add(id string)
+	Remove(id string)
+}
+
+// Health probes replica liveness and edits ring membership. A replica
+// leaves the ring after FailAfter consecutive failed /healthz probes and
+// rejoins on the first success, so routing converges to the live set
+// within a probe interval or two while brief blips change nothing.
+type Health struct {
+	peers []Peer
+	ring  Membership
+	hc    *http.Client
+	after int
+	logf  func(format string, args ...any)
+
+	mu       sync.Mutex //apollo:lockrank 16
+	failures map[string]int
+	down     map[string]bool
+	stopFn   func()
+
+	probes    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// NewHealth returns a checker probing peers and editing ring membership.
+// Every peer starts presumed-up; call CheckOnce (or Start) to probe.
+func NewHealth(peers []Peer, ring Membership, opts HealthOptions) *Health {
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{Timeout: 2 * time.Second}
+	}
+	if opts.FailAfter <= 0 {
+		opts.FailAfter = 2
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Health{
+		peers:    append([]Peer(nil), peers...),
+		ring:     ring,
+		hc:       opts.HTTPClient,
+		after:    opts.FailAfter,
+		logf:     opts.Logf,
+		failures: map[string]int{},
+		down:     map[string]bool{},
+	}
+}
+
+// Probes returns how many individual replica probes have run.
+func (h *Health) Probes() uint64 { return h.probes.Load() }
+
+// Evictions returns how many times a replica was removed from the ring.
+func (h *Health) Evictions() uint64 { return h.evictions.Load() }
+
+// Up reports whether peer id is currently considered healthy.
+func (h *Health) Up(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.down[id]
+}
+
+// CheckOnce probes every peer once and applies membership changes,
+// returning how many peers answered healthy.
+func (h *Health) CheckOnce() int {
+	healthy := 0
+	for _, p := range h.peers {
+		h.probes.Add(1)
+		if h.probe(p) {
+			healthy++
+			h.markUp(p)
+		} else {
+			h.markDown(p)
+		}
+	}
+	return healthy
+}
+
+// probe is one /healthz round trip.
+func (h *Health) probe(p Peer) bool {
+	resp, err := h.hc.Get(p.Base + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	return resp.StatusCode == http.StatusOK
+}
+
+// markUp clears failure state and (re)admits the replica to the ring.
+// Ring edits happen outside h.mu: the ring has its own lock and Add on a
+// present member is a no-op.
+func (h *Health) markUp(p Peer) {
+	h.mu.Lock()
+	wasDown := h.down[p.ID]
+	h.failures[p.ID] = 0
+	delete(h.down, p.ID)
+	h.mu.Unlock()
+	if wasDown {
+		h.logf("fleet: replica %s recovered, rejoining ring", p.ID)
+	}
+	h.ring.Add(p.ID)
+}
+
+// markDown counts the failure and evicts the replica at the threshold.
+func (h *Health) markDown(p Peer) {
+	h.mu.Lock()
+	h.failures[p.ID]++
+	evict := h.failures[p.ID] >= h.after && !h.down[p.ID]
+	if evict {
+		h.down[p.ID] = true
+	}
+	h.mu.Unlock()
+	if evict {
+		h.evictions.Add(1)
+		h.logf("fleet: replica %s failed %d probes, leaving ring", p.ID, h.after)
+		h.ring.Remove(p.ID)
+	}
+}
+
+// Start probes every interval on a background goroutine until the
+// returned stop function is called (idempotent, waits for exit).
+func (h *Health) Start(interval time.Duration) (stop func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.stopFn != nil {
+		return h.stopFn
+	}
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				h.CheckOnce()
+			}
+		}
+	}()
+	var once sync.Once
+	h.stopFn = func() {
+		once.Do(func() { close(stopCh) })
+		<-doneCh
+	}
+	return h.stopFn
+}
+
+// ExportMetrics refreshes the health gauges: per-replica up/down and the
+// eviction counter-as-gauge (the checker owns the monotonic count).
+func (h *Health) ExportMetrics(met *metrics.Metrics) {
+	for _, p := range h.peers {
+		up := int64(0)
+		if h.Up(p.ID) {
+			up = 1
+		}
+		met.GaugeSet("apollo_fleet_replica_up", "replica", p.ID,
+			"1 when the replica's last health probe succeeded.", up)
+	}
+	met.GaugeSet("apollo_fleet_evictions_total", "", "",
+		"Replicas evicted from the ring by failed health probes.", int64(h.Evictions()))
+}
+
+// String summarizes health state for logs and the inspect tool.
+func (h *Health) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	up, down := 0, 0
+	for _, p := range h.peers {
+		if h.down[p.ID] {
+			down++
+		} else {
+			up++
+		}
+	}
+	return fmt.Sprintf("fleet health: %d up, %d down", up, down)
+}

@@ -1,0 +1,213 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apollo/internal/metrics"
+	"apollo/internal/registry"
+)
+
+// maxSyncModelBytes caps a pulled model body (matches the server's PUT
+// cap; trained trees are tens of kilobytes).
+const maxSyncModelBytes = 16 << 20
+
+// SyncerOptions tunes a Syncer; the zero value picks defaults.
+type SyncerOptions struct {
+	// HTTPClient overrides the pull transport (default 5s timeout).
+	HTTPClient *http.Client
+	// Logf receives pull/skip diagnostics (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Syncer is the delta model-distribution half of the fleet layer: it
+// polls each peer's model list and pulls every model whose version is
+// strictly ahead of the local registry's, installing the peer's raw
+// envelope through PublishRaw. Because the registry's envelope
+// marshaling is deterministic, a model pulled this way lands with the
+// same version and the same content ETag on every replica — which is
+// exactly the convergence the serving clients' conditional GETs key on.
+// Version ties with differing ETags (two replicas independently
+// publishing the same version) are never pulled — they are surfaced as
+// the divergence counter so an operator sees a split champion instead
+// of the fleet ping-ponging versions upward forever.
+type Syncer struct {
+	reg   *registry.Registry
+	peers []Peer
+	hc    *http.Client
+	logf  func(format string, args ...any)
+
+	mu     sync.Mutex //apollo:lockrank 17
+	stopFn func()
+
+	pulls       atomic.Uint64 // models pulled from peers
+	errors      atomic.Uint64 // failed list or pull round trips
+	divergences atomic.Uint64 // same-version different-ETag sightings
+}
+
+// NewSyncer returns a syncer that converges reg onto the newest model
+// versions its peers hold. The local replica must not list itself as a
+// peer (it would pull its own publishes — harmless but wasteful).
+func NewSyncer(reg *registry.Registry, peers []Peer, opts SyncerOptions) *Syncer {
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{Timeout: 5 * time.Second}
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Syncer{
+		reg:   reg,
+		peers: append([]Peer(nil), peers...),
+		hc:    opts.HTTPClient,
+		logf:  opts.Logf,
+	}
+}
+
+// Pulls returns how many model versions have been pulled from peers.
+func (s *Syncer) Pulls() uint64 { return s.pulls.Load() }
+
+// Errors returns how many peer round trips failed.
+func (s *Syncer) Errors() uint64 { return s.errors.Load() }
+
+// Divergences returns how many same-version/different-ETag conflicts
+// have been observed (a split champion needs operator attention).
+func (s *Syncer) Divergences() uint64 { return s.divergences.Load() }
+
+// peerModel mirrors the server's /models list entry.
+type peerModel struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	ETag    string `json:"etag"`
+}
+
+// SyncOnce polls every peer once and returns how many models it pulled.
+// A peer that is down just counts an error — the fleet keeps serving.
+func (s *Syncer) SyncOnce() int {
+	pulled := 0
+	for _, p := range s.peers {
+		n, err := s.syncPeer(p)
+		pulled += n
+		if err != nil {
+			s.errors.Add(1)
+			s.logf("fleet: sync %s: %v", p.ID, err)
+		}
+	}
+	return pulled
+}
+
+// syncPeer diffs one peer's list against the local registry and pulls
+// what is strictly newer.
+func (s *Syncer) syncPeer(p Peer) (int, error) {
+	resp, err := s.hc.Get(p.Base + "/models")
+	if err != nil {
+		return 0, err
+	}
+	var list struct {
+		Models []peerModel `json:"models"`
+	}
+	err = json.NewDecoder(io.LimitReader(resp.Body, maxSyncModelBytes)).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		return 0, fmt.Errorf("decoding model list: %w", err)
+	}
+	pulled := 0
+	for _, m := range list.Models {
+		local, ok := s.reg.Get(m.Name)
+		if ok {
+			if m.Version < local.Version {
+				continue
+			}
+			if m.Version == local.Version {
+				if m.ETag != local.ETag {
+					s.divergences.Add(1)
+					s.logf("fleet: %s v%d diverged from %s (etag %s vs %s)",
+						m.Name, m.Version, p.ID, local.ETag, m.ETag)
+				}
+				continue
+			}
+		}
+		if err := s.pull(p, m); err != nil {
+			s.errors.Add(1)
+			s.logf("fleet: pulling %s v%d from %s: %v", m.Name, m.Version, p.ID, err)
+			continue
+		}
+		pulled++
+	}
+	return pulled, nil
+}
+
+// pull fetches one model envelope and installs it locally. PublishRaw
+// honors the envelope's own (ahead) version, so the version number — and
+// with deterministic marshaling, the ETag — carries over unchanged.
+func (s *Syncer) pull(p Peer, m peerModel) error {
+	resp, err := s.hc.Get(p.Base + "/models/" + m.Name)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return fmt.Errorf("%s", resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSyncModelBytes))
+	if err != nil {
+		return err
+	}
+	e, err := s.reg.PublishRaw(m.Name, data)
+	if err != nil {
+		return err
+	}
+	s.pulls.Add(1)
+	s.logf("fleet: pulled %s v%d from %s", e.Name, e.Version, p.ID)
+	return nil
+}
+
+// Start syncs every interval on a background goroutine until the
+// returned stop function is called (idempotent, waits for exit).
+// onPull (optional) fires after every round that pulled at least one
+// model, with the count — the daemon uses it to refresh version gauges.
+func (s *Syncer) Start(interval time.Duration, onPull func(n int)) (stop func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopFn != nil {
+		return s.stopFn
+	}
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				if n := s.SyncOnce(); n > 0 && onPull != nil {
+					onPull(n)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	s.stopFn = func() {
+		once.Do(func() { close(stopCh) })
+		<-doneCh
+	}
+	return s.stopFn
+}
+
+// ExportMetrics refreshes the syncer gauges on met.
+func (s *Syncer) ExportMetrics(met *metrics.Metrics) {
+	met.GaugeSet("apollo_fleet_sync_pulls_total", "", "",
+		"Model versions pulled from peer replicas.", int64(s.Pulls()))
+	met.GaugeSet("apollo_fleet_sync_errors_total", "", "",
+		"Failed peer sync round trips.", int64(s.Errors()))
+	met.GaugeSet("apollo_fleet_sync_divergences_total", "", "",
+		"Same-version different-ETag conflicts observed across peers.", int64(s.Divergences()))
+}

@@ -23,8 +23,16 @@ import (
 	"apollo/internal/drift"
 	"apollo/internal/features"
 	"apollo/internal/registry"
-	"apollo/internal/telemetry"
 )
+
+// Cursor is the trainer's telemetry input: anything that yields the
+// rows appended since the previous poll. *telemetry.Cursor tails one
+// spool; fleet.MergedCursor unions a whole fleet's spools so the
+// trainer learns from every replica's clients at once (collective
+// training).
+type Cursor interface {
+	Poll() (*dataset.Frame, error)
+}
 
 // Publisher is where champions live: the trainer reads the current one
 // and pushes challengers. Implementations wrap the HTTP client (a
@@ -101,6 +109,15 @@ type Config struct {
 	MaxRegression float64
 	// Seed fixes the holdout split (default 1).
 	Seed uint64
+	// Incumbents are additional champions the challenger must not
+	// regress: in a fleet, one Publisher per replica, so a collectively
+	// trained model publishes only when it beats (within MaxRegression)
+	// every replica-local incumbent on the holdout — not just the
+	// champion of the replica it happens to publish through. An
+	// incumbent that cannot be read (replica down) is skipped with a log
+	// line rather than blocking training; the health checker owns dead
+	// replicas.
+	Incumbents []Publisher
 	// Train is passed through to core.Train.
 	Train core.TrainConfig
 	// Logf receives progress lines (default: discard).
@@ -145,12 +162,15 @@ type Result struct {
 	// decided a champion/challenger duel (0 when no duel ran).
 	ChampionNS   float64
 	ChallengerNS float64
+	// Vetoed reports that a fleet incumbent (Config.Incumbents) beat the
+	// challenger on the holdout, blocking the publish.
+	Vetoed bool
 }
 
 // Trainer drives the retrain loop for one model.
 type Trainer struct {
 	cfg    Config
-	cursor *telemetry.Cursor
+	cursor Cursor
 	pub    Publisher
 	det    *drift.Detector
 	window *dataset.Frame
@@ -160,10 +180,11 @@ type Trainer struct {
 	retrains  atomic.Uint64
 	publishes atomic.Uint64
 	rejects   atomic.Uint64
+	vetoes    atomic.Uint64
 }
 
 // New returns a trainer tailing cursor and publishing through pub.
-func New(cursor *telemetry.Cursor, pub Publisher, cfg Config) (*Trainer, error) {
+func New(cursor Cursor, pub Publisher, cfg Config) (*Trainer, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("trainer: Config.Name is required")
@@ -186,6 +207,9 @@ func (t *Trainer) Triggers() uint64  { return t.triggers.Load() }
 func (t *Trainer) Retrains() uint64  { return t.retrains.Load() }
 func (t *Trainer) Publishes() uint64 { return t.publishes.Load() }
 func (t *Trainer) Rejects() uint64   { return t.rejects.Load() }
+
+// Vetoes counts publishes blocked by a fleet incumbent.
+func (t *Trainer) Vetoes() uint64 { return t.vetoes.Load() }
 
 // Step runs one poll-check-retrain cycle. It never blocks on the spool:
 // no new rows (or a window too thin to label) is a clean no-op result.
@@ -232,19 +256,28 @@ func (t *Trainer) Step() (*Result, error) {
 		return nil, fmt.Errorf("trainer: reading champion %s: %w", t.cfg.Name, err)
 	}
 	if champion == nil {
-		// Bootstrap: no champion to defend, ship the first model.
+		// Bootstrap: no local champion to defend, ship the first model —
+		// unless a fleet incumbent already beats it, in which case the
+		// syncer pulling that incumbent is the better bootstrap.
 		m, err := core.Train(set, t.cfg.Train)
 		if err != nil {
 			return nil, fmt.Errorf("trainer: bootstrap train: %w", err)
 		}
 		t.retrains.Add(1)
+		res.Retrained = true
+		if by, incNS := t.incumbentVeto(drift.PredictedTimeNS(m, set), set); by != "" {
+			t.vetoes.Add(1)
+			res.Vetoed = true
+			t.cfg.Logf("trainer: %s: bootstrap vetoed by fleet incumbent %s (%.0fns)", t.cfg.Name, by, incNS)
+			return res, nil
+		}
 		v, err := t.pub.Publish(t.cfg.Name, m)
 		if err != nil {
 			return nil, fmt.Errorf("trainer: bootstrap publish: %w", err)
 		}
 		t.publishes.Add(1)
 		t.det.SetBaseline(drift.SnapshotSet(set))
-		res.Retrained, res.Published, res.Version = true, true, v
+		res.Published, res.Version = true, v
 		t.cfg.Logf("trainer: bootstrapped %s v%d from %d vectors", t.cfg.Name, v, set.Len())
 		return res, nil
 	}
@@ -272,6 +305,13 @@ func (t *Trainer) Step() (*Result, error) {
 			t.cfg.Name, res.ChallengerNS, res.ChampionNS, holdout.Len())
 		return res, nil
 	}
+	if by, incNS := t.incumbentVeto(res.ChallengerNS, holdout); by != "" {
+		t.vetoes.Add(1)
+		res.Vetoed = true
+		t.cfg.Logf("trainer: %s: challenger vetoed by fleet incumbent %s (%.0fns vs challenger %.0fns)",
+			t.cfg.Name, by, incNS, res.ChallengerNS)
+		return res, nil
+	}
 	v, err := t.pub.Publish(t.cfg.Name, challenger)
 	if err != nil {
 		return nil, fmt.Errorf("trainer: publish: %w", err)
@@ -282,6 +322,29 @@ func (t *Trainer) Step() (*Result, error) {
 	t.cfg.Logf("trainer: published %s v%d (%.0fns vs champion %.0fns on %d holdout vectors)",
 		t.cfg.Name, v, res.ChallengerNS, res.ChampionNS, holdout.Len())
 	return res, nil
+}
+
+// incumbentVeto scores every fleet incumbent's champion on eval and
+// returns the index (as a label) and predicted time of the first one the
+// challenger fails to beat within MaxRegression. An unreadable incumbent
+// (its replica is down) is skipped: the publish gate protects against
+// regressing live replicas, and dead ones are the health checker's job.
+func (t *Trainer) incumbentVeto(challengerNS float64, eval *core.LabeledSet) (by string, incNS float64) {
+	for i, inc := range t.cfg.Incumbents {
+		champ, _, err := inc.Champion(t.cfg.Name)
+		if err != nil {
+			t.cfg.Logf("trainer: %s: incumbent %d unreadable, skipping: %v", t.cfg.Name, i, err)
+			continue
+		}
+		if champ == nil {
+			continue
+		}
+		ns := drift.PredictedTimeNS(champ, eval)
+		if challengerNS > ns*(1+t.cfg.MaxRegression) {
+			return fmt.Sprintf("#%d", i), ns
+		}
+	}
+	return "", 0
 }
 
 // Run steps every interval until ctx is done, reporting step errors to

@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"fmt"
 	"testing"
 
 	"apollo/internal/core"
@@ -230,5 +231,76 @@ func TestTrainerRejectsWorseChallenger(t *testing.T) {
 	}
 	if e, _ := reg.Get("app/policy"); e.Version != 1 {
 		t.Errorf("registry advanced to v%d despite rejection", e.Version)
+	}
+}
+
+// errPublisher is an incumbent whose replica is unreachable.
+type errPublisher struct{}
+
+func (errPublisher) Champion(string) (*core.Model, int, error) {
+	return nil, 0, fmt.Errorf("dial tcp: connection refused")
+}
+func (errPublisher) Publish(string, *core.Model) (int, error) {
+	return 0, fmt.Errorf("dial tcp: connection refused")
+}
+
+func TestTrainerIncumbentVetoesBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	local := registry.New()
+	// Another replica already holds a full-depth champion that separates
+	// the interleaved classes perfectly.
+	incumbent := registry.New()
+	window := []obs{
+		{n: 10, seqNS: 1, ompNS: 50}, {n: 30, seqNS: 1, ompNS: 50},
+		{n: 50, seqNS: 1, ompNS: 50}, {n: 70, seqNS: 1, ompNS: 50},
+		{n: 90, seqNS: 1, ompNS: 50}, {n: 110, seqNS: 1, ompNS: 50},
+		{n: 20, seqNS: 10000, ompNS: 100}, {n: 40, seqNS: 10000, ompNS: 100},
+		{n: 60, seqNS: 10000, ompNS: 100}, {n: 80, seqNS: 10000, ompNS: 100},
+	}
+	if _, err := incumbent.Publish("app/policy", trainModel(t, window)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The local replica has no champion and can only train a depth-1
+	// bootstrap, which cannot separate the interleaved classes: the fleet
+	// incumbent must veto it so the syncer bootstraps this replica
+	// instead.
+	appendObs(t, dir, window)
+	tr := newTrainer(t, dir, NewRegistryPublisher(local), Config{
+		Train:      core.TrainConfig{Tree: dtree.Config{MaxDepth: 1}},
+		Incumbents: []Publisher{NewRegistryPublisher(incumbent)},
+	})
+	res, err := tr.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Retrained || !res.Vetoed || res.Published {
+		t.Fatalf("veto step = %+v", res)
+	}
+	if tr.Vetoes() != 1 || tr.Publishes() != 0 {
+		t.Errorf("counters: vetoes=%d publishes=%d", tr.Vetoes(), tr.Publishes())
+	}
+	if local.Len() != 0 {
+		t.Error("vetoed bootstrap was published anyway")
+	}
+}
+
+func TestTrainerSkipsUnreachableIncumbent(t *testing.T) {
+	dir := t.TempDir()
+	local := registry.New()
+	empty := registry.New() // a replica with no champion yet: no opinion
+	appendObs(t, dir, crossover(32, 256, 2048, 16384, 131072))
+	tr := newTrainer(t, dir, NewRegistryPublisher(local), Config{
+		Incumbents: []Publisher{errPublisher{}, NewRegistryPublisher(empty)},
+	})
+	res, err := tr.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Published || res.Vetoed {
+		t.Fatalf("dead/empty incumbents blocked the bootstrap: %+v", res)
+	}
+	if tr.Vetoes() != 0 {
+		t.Errorf("vetoes = %d", tr.Vetoes())
 	}
 }
