@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build lint test race stress bench results quick-results cover clean serve-smoke loop-smoke flight-smoke fleet-smoke
+.PHONY: all build lint test race stress bench results quick-results cover clean serve-smoke loop-smoke flight-smoke fleet-smoke compile-smoke
 
-all: build lint test race flight-smoke fleet-smoke
+all: build lint test race flight-smoke fleet-smoke compile-smoke
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,13 @@ flight-smoke:
 # zero failed predicts, and a collective retrain over the merged spools.
 fleet-smoke:
 	GO="$(GO)" ./scripts/fleet_smoke.sh
+
+# End-to-end smoke test of the compiled decision path: train -> publish
+# (registry compiles) -> apollo-inspect models -verify differentially
+# checks compiled vs interpreted predictions locally and through the
+# live /predict endpoint.
+compile-smoke:
+	GO="$(GO)" ./scripts/compile_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"apollo/internal/ctree"
+	"apollo/internal/dtree"
 )
 
 // syntheticRecords describe one region ("daxpy" at num_indices=1024)
@@ -109,6 +112,62 @@ func TestFlightCmdReadsCaptureFile(t *testing.T) {
 	}
 	if err := runFlightCmd(nil); err == nil {
 		t.Error("no input accepted")
+	}
+}
+
+// TestDecodeOffsetPaths exercises the offline fallback: a capture whose
+// records carry only compact offset trails (no pre-rendered path) must
+// get its paths reconstructed from the embedded compiled-tree layout.
+func TestDecodeOffsetPaths(t *testing.T) {
+	dt := &dtree.Tree{
+		Root: &dtree.Node{
+			Feature: 0, Threshold: 96,
+			Left: &dtree.Node{Feature: -1, Label: 0},
+			Right: &dtree.Node{
+				Feature: 1, Threshold: 256,
+				Left:  &dtree.Node{Feature: -1, Label: 0},
+				Right: &dtree.Node{Feature: -1, Label: 1},
+			},
+		},
+		NumFeatures: 2, NumClasses: 2,
+	}
+	ct, err := ctree.Compile(dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs [8]int32
+	_, n := ct.PredictOffsets([]float64{1024, 1024}, offs[:])
+
+	c := flightCapture{
+		Format: "apollo-flight-v1",
+		Sites: []flightSite{{
+			ID: "0x7", Name: "daxpy",
+			Features: []string{"num_indices", "trip_count"},
+			CTree:    ct.Layout(),
+		}},
+		Records: []flightRecord{{
+			Site: "daxpy", SiteID: "0x7",
+			Features:     map[string]float64{"num_indices": 1024, "trip_count": 1024},
+			TrailOffsets: append([]int32(nil), offs[:n]...),
+		}},
+	}
+	decodeOffsetPaths(&c)
+	want := []string{
+		"num_indices (=1024) > 96 → right",
+		"trip_count (=1024) > 256 → right",
+	}
+	got := c.Records[0].Path
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("decoded path %q, want %q", got, want)
+	}
+
+	// Records from sites without an embedded layout stay untouched.
+	c2 := flightCapture{
+		Records: []flightRecord{{SiteID: "0x9", TrailOffsets: []int32{0, -1}}},
+	}
+	decodeOffsetPaths(&c2)
+	if c2.Records[0].Path != nil {
+		t.Fatalf("layout-less record grew a path: %q", c2.Records[0].Path)
 	}
 }
 

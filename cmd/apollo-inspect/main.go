@@ -4,6 +4,13 @@
 //
 //	apollo-inspect -model policy.json            inspect a model
 //	apollo-inspect -model policy.json -gen -depth 3
+//	apollo-inspect models -dir ./models          compiled-model report:
+//	                                             nodes, flat-array bytes,
+//	                                             specialization kind
+//	apollo-inspect models -url http://127.0.0.1:8080 -verify
+//	                                             + differential check of
+//	                                             compiled vs interpreted
+//	                                             and the live /predict
 //	apollo-inspect flight -in capture.json       misprediction table +
 //	                                             decision-path histogram
 //	apollo-inspect flight -url http://127.0.0.1:9999/debug/apollo/flight
@@ -26,6 +33,8 @@ func main() {
 	if len(os.Args) > 1 {
 		var err error
 		switch os.Args[1] {
+		case "models":
+			err = runModelsCmd(os.Args[2:])
 		case "flight":
 			err = runFlightCmd(os.Args[2:])
 		case "trace":

@@ -117,6 +117,24 @@ func TestHotPathCorpus(t *testing.T) {
 	}
 }
 
+// TestCtreeCorpus pins the compiled-decision-path contract: the flat
+// threaded-array walk idiom (including dynamic dispatch of an installed
+// predict closure and a coldpath specialization builder) analyzes
+// clean, while growing trails, locking the walk, or boxing the class
+// produce exactly the marked diagnostics.
+func TestCtreeCorpus(t *testing.T) {
+	diags := runCorpus(t, "ctreemod", []*Analyzer{HotPath})
+	for _, d := range diags {
+		for _, clean := range []string{"PredictInstalled", "SwapAndPredict", "newFunc"} {
+			for _, link := range d.Chain {
+				if strings.Contains(link, clean) {
+					t.Errorf("clean function %s implicated: %s", clean, d.String())
+				}
+			}
+		}
+	}
+}
+
 func TestAtomicAlignCorpus(t *testing.T) {
 	runCorpus(t, "atomicmod", []*Analyzer{AtomicAlign})
 }

@@ -1,0 +1,138 @@
+// Package ctreemod is the compiled-decision-path corpus: the flat
+// threaded-array walk idiom of internal/ctree, with its no-alloc hot
+// contract and the characteristic ways to break it. Every "want" line
+// must produce exactly that diagnostic; the clean walks must stay
+// silent.
+package ctreemod
+
+import "sync"
+
+// pnode mirrors the packed walk node of a compiled tree.
+type pnode struct {
+	feat, left, right int32
+	thresh            float64
+}
+
+type tree struct {
+	nodes     []pnode
+	leafLabel int32
+	predict   func(x []float64) int
+}
+
+// The canonical flat walk: index loads, one comparison per level,
+// negative leaf references. Nothing to report.
+//
+//apollo:hotpath
+func Predict(t *tree, x []float64) int {
+	nodes := t.nodes
+	if len(nodes) == 0 {
+		return int(t.leafLabel)
+	}
+	ref := int32(0)
+	for {
+		n := &nodes[ref]
+		if x[n.feat] <= n.thresh {
+			ref = n.left
+		} else {
+			ref = n.right
+		}
+		if ref < 0 {
+			return int(^ref)
+		}
+	}
+}
+
+// The batched walk writes into a caller-provided slice — no append, no
+// growth, still clean through the transitive call.
+//
+//apollo:hotpath
+func PredictN(t *tree, X [][]float64, out []int) {
+	for i, x := range X {
+		out[i] = Predict(t, x)
+	}
+}
+
+// Offset recording stays clean when the buffer is caller-provided and
+// bounds-checked instead of grown.
+//
+//apollo:hotpath
+func PredictOffsets(t *tree, x []float64, offs []int32) (int, int) {
+	ref := int32(0)
+	n := 0
+	for ref >= 0 && int(ref) < len(t.nodes) {
+		if n < len(offs) {
+			offs[n] = ref
+			n++
+		}
+		nd := &t.nodes[ref]
+		if x[nd.feat] <= nd.thresh {
+			ref = nd.left
+		} else {
+			ref = nd.right
+		}
+	}
+	return int(^ref), n
+}
+
+// Calling an installed predict closure is dynamic dispatch the analyzer
+// cannot resolve; it must stay silent rather than guess at the target.
+//
+//apollo:hotpath
+func PredictInstalled(t *tree, x []float64) int {
+	return t.predict(x)
+}
+
+// Specialization builds closures and slices freely: it runs once per
+// model swap, so the coldpath annotation stops hot traversal here.
+//
+//apollo:coldpath specialization runs once per model swap
+func newFunc(t *tree) func(x []float64) int {
+	labels := make([]int, len(t.nodes)+1)
+	return func(x []float64) int { return labels[0] }
+}
+
+//apollo:hotpath
+func SwapAndPredict(t *tree, x []float64) int {
+	if t.predict == nil {
+		t.predict = newFunc(t)
+	}
+	return t.predict(x)
+}
+
+// The tempting-but-wrong offset recorder: growing the trail on the walk
+// allocates.
+//
+//apollo:hotpath
+func PredictOffsetsGrowing(t *tree, x []float64, offs []int32) []int32 {
+	ref := int32(0)
+	for ref >= 0 && int(ref) < len(t.nodes) {
+		offs = append(offs, ref) // want `append may grow and allocate on the hot path`
+		nd := &t.nodes[ref]
+		if x[nd.feat] <= nd.thresh {
+			ref = nd.left
+		} else {
+			ref = nd.right
+		}
+	}
+	return offs
+}
+
+var mu sync.Mutex
+
+// Guarding the walk with a lock serializes every launch.
+//
+//apollo:hotpath
+func PredictLocked(t *tree, x []float64) int {
+	mu.Lock() // want `acquires sync\.Mutex \(Lock\) on the hot path`
+	class := Predict(t, x)
+	mu.Unlock() // want `acquires sync\.Mutex \(Unlock\) on the hot path`
+	return class
+}
+
+// Funneling the class through an interface boxes it.
+//
+//apollo:hotpath
+func PredictAny(t *tree, x []float64) any {
+	var class any = Predict(t, x) // want `int boxed into any allocates on the hot path`
+	return class
+}

@@ -1,0 +1,3 @@
+module ctreemod
+
+go 1.22

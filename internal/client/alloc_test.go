@@ -6,10 +6,11 @@ import (
 	"apollo/internal/features"
 )
 
-// Predict is //apollo:hotpath: once a model is cached and a vector's
-// decision has been promoted into the published memo, a launch decision
-// must cost zero allocations (pooled key buffer, one atomic map load).
-func TestPredictMemoHitAllocationFree(t *testing.T) {
+// Predict is //apollo:hotpath: once a model is cached, every launch
+// decision — including one for a vector the client has never seen, the
+// old memo's worst case — must cost zero allocations: one atomic map
+// load plus the compiled tree walk installed at fetch time.
+func TestPredictCacheMissAllocationFree(t *testing.T) {
 	ts, _ := newService(t)
 	c := New(ts.URL, Options{})
 	m := testModel(t, false)
@@ -18,26 +19,49 @@ func TestPredictMemoHitAllocationFree(t *testing.T) {
 	}
 	ni := m.Schema.Index(features.NumIndices)
 	x := make([]float64, m.Schema.Len())
-	x[ni] = 32
-	// Drive memoPromoteBatch distinct vectors through Predict so the
-	// dirty overlay (x included) republishes into the lock-free map.
-	for i := 0; i < memoPromoteBatch; i++ {
-		v := make([]float64, m.Schema.Len())
-		v[ni] = float64(32 + i)
-		if _, err := c.Predict("p", v); err != nil {
-			t.Fatal(err)
-		}
+	if _, err := c.Predict("p", x); err != nil {
+		t.Fatal(err)
 	}
-	hits := c.MemoHits()
+	if cur := c.Cached("p"); cur == nil || cur.Compiled == nil {
+		t.Fatal("fetched model was not compiled")
+	}
+	i := 0.0
 	allocs := testing.AllocsPerRun(200, func() {
+		i++
+		x[ni] = i // a fresh vector every call: no memo could have seen it
 		if _, err := c.Predict("p", x); err != nil {
 			t.Fatal(err)
 		}
 	})
 	if allocs != 0 {
-		t.Errorf("memoized Predict allocates %.1f objects per call, want 0", allocs)
+		t.Errorf("cache-miss Predict allocates %.1f objects per call, want 0", allocs)
 	}
-	if c.MemoHits() <= hits {
-		t.Error("guard did not exercise the memo hit path")
+}
+
+// PredictN shares the contract: one batched decision pass, zero allocs.
+func TestPredictNAllocationFree(t *testing.T) {
+	ts, _ := newService(t)
+	c := New(ts.URL, Options{})
+	m := testModel(t, false)
+	if _, err := c.Push("p", m); err != nil {
+		t.Fatal(err)
+	}
+	ni := m.Schema.Index(features.NumIndices)
+	X := make([][]float64, 16)
+	for i := range X {
+		X[i] = make([]float64, m.Schema.Len())
+		X[i][ni] = float64(i * 1000)
+	}
+	out := make([]int, len(X))
+	if err := c.PredictN("p", X, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.PredictN("p", X, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PredictN allocates %.1f objects per call, want 0", allocs)
 	}
 }

@@ -1,22 +1,22 @@
 // Package client consumes the Apollo model service from inside an
 // application process. It fetches models with conditional GETs (ETag /
-// If-None-Match), caches the deserialized tree in-process behind an
-// atomic pointer, memoizes decisions per unique feature vector, and —
-// crucially for a tuner on an application's launch hot path — degrades
-// gracefully: when the server is unreachable the client serves the last
-// fetched model, or nothing at all (the tuner then uses its base
-// parameters), and retries on an exponential backoff schedule instead of
-// hammering the network on every launch.
+// If-None-Match), compiles each fetched tree into its flat ctree form
+// and installs the specialized predict closure behind an atomic pointer
+// — every decision, first sight or not, is one lock-free map read plus a
+// compiled array walk, with no per-vector memo to miss. Crucially for a
+// tuner on an application's launch hot path the client also degrades
+// gracefully: when the server is unreachable it serves the last fetched
+// model, or nothing at all (the tuner then uses its base parameters),
+// and retries on an exponential backoff schedule instead of hammering
+// the network on every launch.
 package client
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"apollo/internal/core"
+	"apollo/internal/ctree"
 )
 
 // ErrNotFound reports that the service has no model under the requested
@@ -44,6 +45,14 @@ type Cached struct {
 	SchemaHash string
 	// Model is the deserialized model.
 	Model *core.Model
+	// Compiled is the tree flattened at fetch time (nil only when the
+	// compiler rejected it; predicts then fall back to the interpreted
+	// walk).
+	Compiled *ctree.Tree
+
+	// predict is the specialized closure Compiled.Func built when this
+	// version was installed — the one indirect call a hot decision makes.
+	predict func(x []float64) int
 }
 
 // Options tunes a client; the zero value picks sensible defaults.
@@ -72,27 +81,8 @@ type Client struct {
 	mu     sync.Mutex //apollo:lockrank 10
 	models atomic.Pointer[map[string]*modelState]
 
-	// memo is the published decision memo (ETag+vector -> class),
-	// copy-on-write behind an atomic pointer so the Predict hit path
-	// reads it without any lock. memoMu guards memoDirty, an overlay
-	// batching new decisions; it is folded into the published map every
-	// memoPromoteBatch entries, so the per-miss cost is a short mutex
-	// and the per-hit cost is one atomic load.
-	memoMu    sync.Mutex //apollo:lockrank 11
-	memo      atomic.Pointer[map[string]int]
-	memoDirty map[string]int
-
-	fetches  atomic.Uint64 // network round trips attempted
-	memoHits atomic.Uint64
+	fetches atomic.Uint64 // network round trips attempted
 }
-
-// memoCap bounds the decision memo; on overflow it resets.
-const memoCap = 8192
-
-// memoPromoteBatch is how many unpublished decisions accumulate before
-// the memo republishes. Batching keeps promotion cost amortized: a full
-// map copy every N misses instead of every miss.
-const memoPromoteBatch = 64
 
 // modelState tracks one model name's cache and failure backoff.
 type modelState struct {
@@ -119,10 +109,7 @@ func New(base string, opts Options) *Client {
 		maxBackoff:     opts.MaxBackoff,
 		nowFn:          time.Now,
 		rand:           rand.Float64,
-		memoDirty:      map[string]int{},
 	}
-	memo := map[string]int{}
-	c.memo.Store(&memo)
 	c.models.Store(&map[string]*modelState{})
 	return c
 }
@@ -130,9 +117,6 @@ func New(base string, opts Options) *Client {
 // Fetches returns how many network round trips the client has attempted
 // (successful or not) — backoff keeps this bounded under outages.
 func (c *Client) Fetches() uint64 { return c.fetches.Load() }
-
-// MemoHits returns how many predictions the decision memo answered.
-func (c *Client) MemoHits() uint64 { return c.memoHits.Load() }
 
 // state returns (creating if needed) the tracking record for name. The
 // read path is one atomic load; a new name copies the map under mu.
@@ -266,6 +250,12 @@ func (c *Client) Fetch(name string) (*Cached, error) {
 			SchemaHash: env.Model.SchemaHash(),
 			Model:      env.Model,
 		}
+		// Compile and specialize once per installed version, here on the
+		// fetch (cold) path; every later Predict just calls the closure.
+		if ct, err := env.Model.Compile(); err == nil {
+			next.Compiled = ct
+			next.predict = ct.Func()
+		}
 		st.cur.Store(next)
 		c.ok(st)
 		return next, nil
@@ -321,11 +311,12 @@ func (c *Client) backoff(failures int) time.Duration {
 }
 
 // Predict evaluates the named model on a vector laid out by the model's
-// own schema, memoizing per unique (model version, vector). The decision
-// path never blocks on the network: it uses whatever model Fetch last
-// cached, and errors only if no model has ever been fetched. A memoized
-// decision costs one atomic load of the published memo map plus a pooled
-// key build — no locks, no allocation (apollo-vet enforces this).
+// own schema. The decision path never blocks on the network: it uses
+// whatever model Fetch last cached, and errors only if no model has ever
+// been fetched. Every decision — there is no warm-up and no per-vector
+// memo to miss — costs one atomic map load plus the compiled tree walk
+// installed at fetch time: no locks, no allocation (apollo-vet and the
+// zero-alloc guard test both enforce this).
 //
 //apollo:hotpath
 func (c *Client) Predict(name string, x []float64) (int, error) {
@@ -342,19 +333,44 @@ func (c *Client) Predict(name string, x []float64) (int, error) {
 	if len(x) != cur.Model.Schema.Len() {
 		return 0, sizeMismatch(name, len(x), cur.Model.Schema.Len())
 	}
-	kb := keyPool.Get().(*[]byte)
-	b := appendMemoKey((*kb)[:0], cur.ETag, x)
-	class, hit := (*c.memo.Load())[string(b)] // string(b) in a map read does not allocate
-	if hit {
-		*kb = b
-		keyPool.Put(kb)
-		c.memoHits.Add(1)
-		return class, nil
+	if cur.predict != nil {
+		return cur.predict(x), nil
 	}
-	class = c.memoMiss(b, cur, x)
-	*kb = b
-	keyPool.Put(kb)
-	return class, nil
+	return cur.Model.Predict(x), nil
+}
+
+// PredictN evaluates the named model on a batch of vectors, writing
+// classes into out (len(out) >= len(X)). One compiled walk amortizes the
+// name resolution and closure dispatch over the whole batch, so the
+// per-launch cost is below a single Predict — the API a tuner uses when
+// it decides a vector of queued launches at once. Allocation-free.
+//
+//apollo:hotpath
+func (c *Client) PredictN(name string, X [][]float64, out []int) error {
+	var cur *Cached
+	if st, ok := (*c.models.Load())[name]; ok {
+		cur = st.cur.Load()
+	}
+	if cur == nil {
+		var err error
+		if cur, err = c.predictBootstrap(name); err != nil {
+			return err
+		}
+	}
+	want := cur.Model.Schema.Len()
+	for _, x := range X {
+		if len(x) != want {
+			return sizeMismatch(name, len(x), want)
+		}
+	}
+	if cur.Compiled != nil {
+		cur.Compiled.PredictN(X, out)
+		return nil
+	}
+	for i, x := range X {
+		out[i] = cur.Model.Predict(x)
+	}
+	return nil
 }
 
 // predictBootstrap resolves the first decision for a model name: fetch
@@ -374,60 +390,6 @@ func (c *Client) predictBootstrap(name string) (*Cached, error) {
 //apollo:coldpath error construction for malformed input vectors
 func sizeMismatch(name string, got, want int) error {
 	return fmt.Errorf("client: vector has %d features, model %s wants %d", got, name, want)
-}
-
-// memoMiss resolves a decision absent from the published memo: answer
-// from the dirty overlay if a prior miss already computed it, otherwise
-// walk the tree and record the result. The overlay republishes into the
-// lock-free map every memoPromoteBatch fresh decisions, so each unique
-// (model version, vector) takes this mutex a bounded number of times and
-// then settles onto the published hit path.
-//
-//apollo:coldpath published-map misses are transient; every decision promotes to the lock-free map within memoPromoteBatch fresh misses
-func (c *Client) memoMiss(key []byte, cur *Cached, x []float64) int {
-	c.memoMu.Lock()
-	defer c.memoMu.Unlock()
-	if class, ok := c.memoDirty[string(key)]; ok {
-		c.memoHits.Add(1)
-		return class
-	}
-	class := cur.Model.Predict(x)
-	if len(*c.memo.Load())+len(c.memoDirty) >= memoCap {
-		empty := map[string]int{}
-		c.memo.Store(&empty)
-		c.memoDirty = map[string]int{}
-	}
-	c.memoDirty[string(key)] = class
-	if len(c.memoDirty) < memoPromoteBatch {
-		return class
-	}
-	pub := *c.memo.Load()
-	next := make(map[string]int, len(pub)+len(c.memoDirty))
-	for k, v := range pub {
-		next[k] = v
-	}
-	for k, v := range c.memoDirty {
-		next[k] = v
-	}
-	c.memo.Store(&next)
-	c.memoDirty = make(map[string]int, memoPromoteBatch)
-	return class
-}
-
-// keyPool recycles memo-key scratch buffers. 512 bytes covers an ETag
-// plus the full Table-I vector (41 features x 8 bytes), so a steady-state
-// Predict never grows the buffer — apollo-vet's hotpath analyzer and the
-// zero-alloc guard test both hold the path to zero allocations.
-var keyPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
-
-// appendMemoKey appends the decision memo key — entity tag plus the
-// exact bit pattern of every feature — to b.
-func appendMemoKey(b []byte, etag string, x []float64) []byte {
-	b = append(b, etag...) //apollo:allocok appends into a pooled 512-byte buffer sized for ETag + Table-I vector
-	for _, v := range x {
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
-	}
-	return b
 }
 
 // unmarshal decodes JSON with a context-rich error.

@@ -104,7 +104,7 @@ func TestPushFetchConditionalGet(t *testing.T) {
 	}
 }
 
-func TestPredictMemoizesPerVector(t *testing.T) {
+func TestPredictUsesCompiledModel(t *testing.T) {
 	ts, _ := newService(t)
 	c := New(ts.URL, Options{})
 	m := testModel(t, false)
@@ -120,20 +120,59 @@ func TestPredictMemoizesPerVector(t *testing.T) {
 	if class != int(raja.SeqExec) {
 		t.Errorf("class = %d, want seq", class)
 	}
-	if c.MemoHits() != 0 {
-		t.Error("first decision hit the memo")
+	// The fetch installed a compiled tree and every prediction agrees
+	// with the interpreted walk.
+	cur := c.Cached("p")
+	if cur == nil || cur.Compiled == nil || cur.predict == nil {
+		t.Fatal("fetched model was not compiled and specialized")
 	}
-	for i := 0; i < 5; i++ {
-		if _, err := c.Predict("p", x); err != nil {
+	ni := m.Schema.Index(features.NumIndices)
+	for i := 0; i < 64; i++ {
+		x[ni] = float64(i * 997)
+		got, err := c.Predict("p", x)
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	if c.MemoHits() != 5 {
-		t.Errorf("memo hits = %d, want 5", c.MemoHits())
+		if want := m.Predict(x); got != want {
+			t.Fatalf("vector %d: compiled predict %d, interpreted %d", i, got, want)
+		}
 	}
 	// Wrong-length vectors are rejected.
 	if _, err := c.Predict("p", []float64{1}); err == nil {
 		t.Error("short vector accepted")
+	}
+}
+
+func TestPredictNMatchesPredict(t *testing.T) {
+	ts, _ := newService(t)
+	c := New(ts.URL, Options{})
+	m := testModel(t, false)
+	if _, err := c.Push("p", m); err != nil {
+		t.Fatal(err)
+	}
+	ni := m.Schema.Index(features.NumIndices)
+	X := make([][]float64, 32)
+	for i := range X {
+		X[i] = make([]float64, m.Schema.Len())
+		X[i][ni] = float64(i * 513)
+	}
+	out := make([]int, len(X))
+	if err := c.PredictN("p", X, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		want, err := c.Predict("p", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i] != want {
+			t.Errorf("batch[%d] = %d, Predict = %d", i, out[i], want)
+		}
+	}
+	// A wrong-length vector anywhere in the batch rejects the call.
+	X[7] = []float64{1}
+	if err := c.PredictN("p", X, out); err == nil {
+		t.Error("short vector in batch accepted")
 	}
 }
 
@@ -318,23 +357,32 @@ func TestSourcePollingPicksUpNewVersion(t *testing.T) {
 	stop() // idempotent
 }
 
-// BenchmarkClientCachedPredict measures a memoized decision: once a model
-// and a launch's feature vector have been seen, a prediction must cost
-// well under a microsecond — no network, no tree walk.
-func BenchmarkClientCachedPredict(b *testing.B) {
+// benchClient stands up a service with one pushed model and a warmed
+// client, returning the client and a mutable probe vector.
+func benchClient(b *testing.B) (*Client, []float64, int) {
 	reg := registry.New()
 	ts := httptest.NewServer(server.New(reg).Handler())
-	defer ts.Close()
+	b.Cleanup(ts.Close)
 	c := New(ts.URL, Options{})
 	m := testModel(b, false)
 	if _, err := c.Push("bench/policy", m); err != nil {
 		b.Fatal(err)
 	}
 	x := make([]float64, m.Schema.Len())
-	x[m.Schema.Index(features.NumIndices)] = 4096
+	ni := m.Schema.Index(features.NumIndices)
+	x[ni] = 4096
 	if _, err := c.Predict("bench/policy", x); err != nil {
 		b.Fatal(err)
 	}
+	return c, x, ni
+}
+
+// BenchmarkClientCachedPredict measures a steady-state decision on a
+// repeated vector: one atomic map load plus the compiled walk — no
+// network, no interpreted tree, no memo.
+func BenchmarkClientCachedPredict(b *testing.B) {
+	c, x, _ := benchClient(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	sink := 0
 	for i := 0; i < b.N; i++ {
@@ -345,4 +393,48 @@ func BenchmarkClientCachedPredict(b *testing.B) {
 		sink += class
 	}
 	_ = sink
+}
+
+// BenchmarkClientCacheMissPredict drives a never-before-seen vector
+// through every call — the case that used to pay the memo's map churn
+// and an interpreted walk, and now costs the same compiled walk as a
+// repeat (0 allocs; the acceptance bar is ≥3x over the old path).
+func BenchmarkClientCacheMissPredict(b *testing.B) {
+	c, x, ni := benchClient(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		x[ni] = float64(i)
+		class, err := c.Predict("bench/policy", x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += class
+	}
+	_ = sink
+}
+
+// BenchmarkClientPredictBatched amortizes one name resolution and one
+// compiled walk over a vector of launches; ns/launch must come in under
+// the single-predict cost.
+func BenchmarkClientPredictBatched(b *testing.B) {
+	c, x, ni := benchClient(b)
+	const batch = 64
+	X := make([][]float64, batch)
+	for i := range X {
+		v := make([]float64, len(x))
+		copy(v, x)
+		v[ni] = float64(i * 777)
+		X[i] = v
+	}
+	out := make([]int, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.PredictN("bench/policy", X, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/launch")
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"apollo/internal/ctree"
 	"apollo/internal/dtree"
 	"apollo/internal/features"
 	"apollo/internal/raja"
@@ -42,6 +43,12 @@ func Train(set *LabeledSet, cfg TrainConfig) (*Model, error) {
 // model's own schema.
 func (m *Model) Predict(x []float64) int { return m.Tree.Predict(x) }
 
+// Compile flattens the model's tree into its compiled form (see package
+// ctree). Publish-time consumers — the registry, the serving client,
+// projector construction — call this once per model swap so the hot path
+// never touches the interpreted node structs.
+func (m *Model) Compile() (*ctree.Tree, error) { return ctree.Compile(m.Tree) }
+
 // Params converts a predicted class into execution parameters, merging it
 // into base (so a policy model leaves the chunk choice alone and vice
 // versa). This is the model_params blackboard write of the paper.
@@ -63,14 +70,27 @@ func (m *Model) Params(class int, base raja.Params) raja.Params {
 type Projector struct {
 	model *Model
 	idx   []int // model feature i reads source[idx[i]]; -1 reads 0
+	src   []int32
+	ct    *ctree.Tree
+	fn    func(x []float64) int
 	pool  sync.Pool
 }
 
-// NewProjector builds a projector from the source schema onto the model.
+// NewProjector builds a projector from the source schema onto the model,
+// compiling the tree and specializing the predict closure — projector
+// construction is the model-swap seam, so this is where publish-time
+// compilation lands for the tuner path. A tree the compiler rejects
+// (malformed structure) falls back to the interpreted walk.
 func (m *Model) NewProjector(source *features.Schema) *Projector {
 	p := &Projector{model: m, idx: make([]int, m.Schema.Len())}
+	p.src = make([]int32, len(p.idx))
 	for i, name := range m.Schema.Names() {
 		p.idx[i] = source.Index(name)
+		p.src[i] = int32(p.idx[i])
+	}
+	if ct, err := ctree.Compile(m.Tree); err == nil {
+		p.ct = ct
+		p.fn = ct.Func()
 	}
 	p.pool.New = func() any {
 		buf := make([]float64, len(p.idx))
@@ -78,6 +98,15 @@ func (m *Model) NewProjector(source *features.Schema) *Projector {
 	}
 	return p
 }
+
+// Compiled returns the projector's compiled tree, nil when compilation
+// was rejected and the projector runs interpreted.
+func (p *Projector) Compiled() *ctree.Tree { return p.ct }
+
+// SourceIndex returns the model→source feature index mapping (-1 for
+// model features the source lacks) in the form ctree.DecodeOffsets
+// takes. Callers must not mutate it.
+func (p *Projector) SourceIndex() []int32 { return p.src }
 
 // Predict projects the source-layout vector and evaluates the model.
 // Scratch space comes from an internal pool, so it allocates nothing in
@@ -93,7 +122,12 @@ func (p *Projector) Predict(source []float64) int {
 			buf[i] = 0
 		}
 	}
-	class := p.model.Tree.Predict(buf)
+	var class int
+	if p.fn != nil {
+		class = p.fn(buf)
+	} else {
+		class = p.model.Tree.Predict(buf)
+	}
 	p.pool.Put(bufp)
 	return class
 }
@@ -120,12 +154,39 @@ func (p *Projector) PredictTrail(source []float64, trail []dtree.TrailStep) (cla
 			buf[i] = 0
 		}
 	}
-	class, steps = p.model.Tree.PredictTrail(buf, trail)
+	if p.ct != nil {
+		class, steps = p.ct.PredictTrail(buf, trail)
+	} else {
+		class, steps = p.model.Tree.PredictTrail(buf, trail)
+	}
 	for i := 0; i < steps; i++ {
 		trail[i].Feature = int32(p.idx[trail[i].Feature])
 	}
 	p.pool.Put(bufp)
 	return class, steps
+}
+
+// PredictOffsets is PredictTrail in the compact flight-recorder
+// encoding: it evaluates the compiled tree while recording visited node
+// offsets (see ctree.PredictOffsets). Callers must gate on Compiled()
+// being non-nil; the offsets decode against Compiled's layout with
+// SourceIndex as the feature mapping. Allocation-free and safe for
+// concurrent callers.
+//
+//apollo:hotpath
+func (p *Projector) PredictOffsets(source []float64, offs []int32) (class, n int) {
+	bufp := p.pool.Get().(*[]float64)
+	buf := *bufp
+	for i, j := range p.idx {
+		if j >= 0 {
+			buf[i] = source[j]
+		} else {
+			buf[i] = 0
+		}
+	}
+	class, n = p.ct.PredictOffsets(buf, offs)
+	p.pool.Put(bufp)
+	return class, n
 }
 
 // FeatureRanking returns the model's features ordered by decreasing Gini

@@ -1,0 +1,292 @@
+package ctree
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"apollo/internal/dtree"
+)
+
+func leaf(label int) *dtree.Node {
+	return &dtree.Node{Feature: -1, Label: label}
+}
+
+func split(feat int, th float64, l, r *dtree.Node) *dtree.Node {
+	return &dtree.Node{Feature: feat, Threshold: th, Left: l, Right: r}
+}
+
+func mustCompile(t *testing.T, dt *dtree.Tree) *Tree {
+	t.Helper()
+	ct, err := Compile(dt)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return ct
+}
+
+func TestCompileLeafOnly(t *testing.T) {
+	ct := mustCompile(t, &dtree.Tree{Root: leaf(2), NumFeatures: 3, NumClasses: 3})
+	if ct.Kind() != KindLeaf {
+		t.Fatalf("kind = %v, want leaf", ct.Kind())
+	}
+	if got := ct.Predict([]float64{9, 9, 9}); got != 2 {
+		t.Fatalf("Predict = %d, want 2", got)
+	}
+	if got := ct.Func()(nil); got != 2 {
+		t.Fatalf("Func() = %d, want 2", got)
+	}
+	var offs [4]int32
+	label, n := ct.PredictOffsets(nil, offs[:])
+	if label != 2 || n != 1 || offs[0] != ^int32(2) {
+		t.Fatalf("PredictOffsets = (%d,%d) offs[0]=%d, want (2,1) %d", label, n, offs[0], ^int32(2))
+	}
+	var trail [4]dtree.TrailStep
+	if label, steps := ct.PredictTrail(nil, trail[:]); label != 2 || steps != 0 {
+		t.Fatalf("PredictTrail = (%d,%d), want (2,0)", label, steps)
+	}
+	st := ct.Stats()
+	if st.Internal != 0 || st.Leaves != 1 || st.Nodes != 1 || st.FlatBytes != 0 || st.Kind != "leaf" {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestCompileStump(t *testing.T) {
+	dt := &dtree.Tree{Root: split(1, 5, leaf(0), leaf(1)), NumFeatures: 2, NumClasses: 2}
+	ct := mustCompile(t, dt)
+	if ct.Kind() != KindStump {
+		t.Fatalf("kind = %v, want stump", ct.Kind())
+	}
+	fn := ct.Func()
+	for _, tc := range []struct {
+		v    float64
+		want int
+	}{{4, 0}, {5, 0}, {6, 1}, {math.NaN(), 1}, {math.Inf(-1), 0}, {math.Inf(1), 1}} {
+		x := []float64{0, tc.v}
+		if got := ct.Predict(x); got != tc.want {
+			t.Errorf("Predict(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+		if got := fn(x); got != tc.want {
+			t.Errorf("Func(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestCompileSingleFeature(t *testing.T) {
+	// Every split tests feature 0: a threshold ladder.
+	dt := &dtree.Tree{
+		Root:        split(0, 10, split(0, 5, leaf(0), leaf(1)), split(0, 20, leaf(2), leaf(3))),
+		NumFeatures: 1,
+		NumClasses:  4,
+	}
+	ct := mustCompile(t, dt)
+	if ct.Kind() != KindSingleFeature {
+		t.Fatalf("kind = %v, want single-feature", ct.Kind())
+	}
+	fn := ct.Func()
+	for _, tc := range []struct {
+		v    float64
+		want int
+	}{{3, 0}, {5, 0}, {7, 1}, {10, 1}, {15, 2}, {20, 2}, {25, 3}, {math.NaN(), 3}} {
+		x := []float64{tc.v}
+		if got, want := fn(x), dt.Predict(x); got != want || got != tc.want {
+			t.Errorf("Func(%v) = %d, interpreted %d, table %d", tc.v, got, want, tc.want)
+		}
+	}
+}
+
+func TestCompilePreorderLayout(t *testing.T) {
+	dt := &dtree.Tree{
+		Root: split(0, 1,
+			split(1, 2, leaf(0), split(2, 3, leaf(1), leaf(2))),
+			split(1, 4, leaf(3), leaf(0))),
+		NumFeatures: 3, NumClasses: 4,
+	}
+	ct := mustCompile(t, dt)
+	if ct.Kind() != KindFlat {
+		t.Fatalf("kind = %v, want flat", ct.Kind())
+	}
+	// Left-first preorder: every internal left child sits at offset i+1.
+	for i, l := range ct.left {
+		if l >= 0 && l != int32(i)+1 {
+			t.Errorf("node %d: internal left child at %d, want %d", i, l, i+1)
+		}
+	}
+	st := ct.Stats()
+	if st.Internal != 4 || st.Leaves != 5 || st.Nodes != 9 || st.Depth != 3 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if want := 4 * 24; st.FlatBytes != want {
+		t.Fatalf("FlatBytes = %d, want %d", st.FlatBytes, want)
+	}
+}
+
+func TestCompileRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		tree *dtree.Tree
+		want string
+	}{
+		{"nil tree", nil, "nil tree"},
+		{"nil root", &dtree.Tree{}, "nil tree"},
+		{"missing child", &dtree.Tree{Root: &dtree.Node{Feature: 0, Left: leaf(0)}, NumFeatures: 1}, "missing a child"},
+		{"feature out of range", &dtree.Tree{Root: split(5, 1, leaf(0), leaf(1)), NumFeatures: 2}, "out of range"},
+		{"negative label", &dtree.Tree{Root: split(0, 1, leaf(-1), leaf(0)), NumFeatures: 1}, "negative label"},
+	}
+	for _, tc := range cases {
+		if _, err := Compile(tc.tree); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCompileDerivesNumFeatures(t *testing.T) {
+	// NumFeatures unset on the source tree: derived from the deepest
+	// feature index actually referenced.
+	dt := &dtree.Tree{Root: split(3, 1, leaf(0), leaf(1))}
+	ct := mustCompile(t, dt)
+	if ct.NumFeatures() != 4 {
+		t.Fatalf("NumFeatures = %d, want 4", ct.NumFeatures())
+	}
+}
+
+func TestLayoutRoundTrip(t *testing.T) {
+	dt := &dtree.Tree{
+		Root: split(0, 1,
+			split(1, 2, leaf(0), split(2, 3, leaf(1), leaf(2))),
+			split(1, 4, leaf(3), leaf(0))),
+		NumFeatures: 3, NumClasses: 4,
+	}
+	ct := mustCompile(t, dt)
+	blob, err := json.Marshal(ct.Layout())
+	if err != nil {
+		t.Fatalf("marshal layout: %v", err)
+	}
+	var l Layout
+	if err := json.Unmarshal(blob, &l); err != nil {
+		t.Fatalf("unmarshal layout: %v", err)
+	}
+	rt, err := FromLayout(&l)
+	if err != nil {
+		t.Fatalf("FromLayout: %v", err)
+	}
+	if rt.Kind() != ct.Kind() || rt.Stats() != ct.Stats() {
+		t.Fatalf("round trip stats = %+v, want %+v", rt.Stats(), ct.Stats())
+	}
+	for _, x := range [][]float64{{0, 0, 0}, {2, 5, 1}, {2, 1, 9}, {0.5, 2, 3}, {1, 2, 3}} {
+		if got, want := rt.Predict(x), dt.Predict(x); got != want {
+			t.Errorf("round trip Predict(%v) = %d, want %d", x, got, want)
+		}
+	}
+
+	// Leaf-only layouts round-trip through the explicit label field.
+	lt := mustCompile(t, &dtree.Tree{Root: leaf(1), NumClasses: 2})
+	blob, _ = json.Marshal(lt.Layout())
+	var ll Layout
+	if err := json.Unmarshal(blob, &ll); err != nil {
+		t.Fatalf("unmarshal leaf layout: %v", err)
+	}
+	rl, err := FromLayout(&ll)
+	if err != nil {
+		t.Fatalf("FromLayout leaf: %v", err)
+	}
+	if got := rl.Predict(nil); got != 1 {
+		t.Fatalf("leaf round trip Predict = %d, want 1", got)
+	}
+}
+
+func TestFromLayoutRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		l    *Layout
+		want string
+	}{
+		{"nil", nil, "nil layout"},
+		{"ragged arrays", &Layout{Feat: []int32{0}, Thresh: []float64{1}}, "disagree"},
+		{"empty without label", &Layout{}, "without a leaf label"},
+		{"backward child", &Layout{Feat: []int32{0, 0}, Thresh: []float64{1, 2},
+			Left: []int32{1, 0}, Right: []int32{^int32(0), ^int32(1)}}, "preorder invariant"},
+		{"child out of range", &Layout{Feat: []int32{0}, Thresh: []float64{1},
+			Left: []int32{7}, Right: []int32{^int32(0)}}, "out of range"},
+		{"negative feature", &Layout{Feat: []int32{-2}, Thresh: []float64{1},
+			Left: []int32{^int32(0)}, Right: []int32{^int32(1)}}, "negative feature"},
+	}
+	for _, tc := range cases {
+		if _, err := FromLayout(tc.l); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPredictOffsetsTruncation(t *testing.T) {
+	// A 5-deep threshold ladder; record into a 3-slot buffer. The walk
+	// must still reach the right leaf while recording stops early.
+	root := leaf(5)
+	for f := 4; f >= 0; f-- {
+		root = split(0, float64(f), leaf(f), root)
+	}
+	dt := &dtree.Tree{Root: root, NumFeatures: 1, NumClasses: 6}
+	ct := mustCompile(t, dt)
+	x := []float64{9} // always right: visits all 5 internal nodes
+	var offs [3]int32
+	label, n := ct.PredictOffsets(x, offs[:])
+	if label != 5 || n != 3 {
+		t.Fatalf("PredictOffsets = (%d,%d), want (5,3)", label, n)
+	}
+	for _, o := range offs {
+		if o < 0 {
+			t.Fatalf("truncated trail recorded a leaf ref: %v", offs)
+		}
+	}
+	// Decoding a truncated trail reconstructs each recorded step's
+	// direction from the feature value.
+	var trail [8]dtree.TrailStep
+	steps := ct.DecodeOffsets(offs[:n], nil, x, trail[:])
+	if steps != 3 {
+		t.Fatalf("DecodeOffsets = %d steps, want 3", steps)
+	}
+	var full [8]dtree.TrailStep
+	_, fullSteps := ct.PredictTrail(x, full[:])
+	for i := 0; i < steps; i++ {
+		if trail[i] != full[i] {
+			t.Errorf("step %d: decoded %+v, walked %+v", i, trail[i], full[i])
+		}
+	}
+	if fullSteps != 5 {
+		t.Fatalf("full trail = %d steps, want 5", fullSteps)
+	}
+}
+
+func TestDecodeOffsetsSourceMapping(t *testing.T) {
+	// Model features 0,1 map to source indices 3 and -1 (absent).
+	dt := &dtree.Tree{
+		Root:        split(0, 1, leaf(0), split(1, 2, leaf(1), leaf(2))),
+		NumFeatures: 2, NumClasses: 3,
+	}
+	ct := mustCompile(t, dt)
+	src := []int32{3, -1}
+	model := []float64{5, 9}     // model-layout vector the walk sees
+	source := []float64{0, 0, 0, 5} // source-layout snapshot the recorder kept
+	var offs [8]int32
+	label, n := ct.PredictOffsets(model, offs[:])
+	if label != 2 {
+		t.Fatalf("label = %d, want 2", label)
+	}
+	var trail [8]dtree.TrailStep
+	steps := ct.DecodeOffsets(offs[:n], src, source, trail[:])
+	if steps != 2 {
+		t.Fatalf("steps = %d, want 2", steps)
+	}
+	if trail[0].Feature != 3 || trail[0].Value != 5 || !trail[0].Right {
+		t.Errorf("step 0 = %+v, want source feature 3 value 5 right", trail[0])
+	}
+	if trail[1].Feature != -1 || !math.IsNaN(trail[1].Value) || !trail[1].Right {
+		t.Errorf("step 1 = %+v, want absent feature with NaN value", trail[1])
+	}
+
+	// A foreign offset aborts the decode without panicking.
+	if got := ct.DecodeOffsets([]int32{0, 99}, src, source, trail[:]); got != 1 {
+		t.Errorf("foreign trail decoded %d steps, want 1", got)
+	}
+}

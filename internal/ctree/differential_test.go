@@ -1,0 +1,162 @@
+package ctree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"apollo/internal/dtree"
+)
+
+// thresholdPool mixes ordinary splits with the boundary values where a
+// compiled comparison could plausibly diverge from the interpreted one:
+// exact-equality thresholds, subnormals, infinities, and NaN (a NaN
+// threshold makes every comparison false, sending everything right).
+var thresholdPool = []float64{
+	0, 1, -1, 0.5, 10, -10, 1e-9, -1e-9, 1e9,
+	math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	math.MaxFloat64, -math.MaxFloat64,
+	math.Inf(1), math.Inf(-1), math.NaN(),
+}
+
+// valuePool feeds vectors with the same boundary values plus exact
+// threshold hits, so `<=` ties are exercised on every tree.
+var valuePool = append([]float64{math.NaN(), math.Inf(1), math.Inf(-1)}, thresholdPool[:9]...)
+
+// randTree grows a random tree: random split features/thresholds, leaf
+// probability rising with depth.
+func randTree(rng *rand.Rand, numFeatures, numClasses, maxDepth int) *dtree.Tree {
+	var grow func(depth int) *dtree.Node
+	grow = func(depth int) *dtree.Node {
+		if depth >= maxDepth || rng.Float64() < 0.25 {
+			return &dtree.Node{Feature: -1, Label: rng.Intn(numClasses)}
+		}
+		return &dtree.Node{
+			Feature:   rng.Intn(numFeatures),
+			Threshold: thresholdPool[rng.Intn(len(thresholdPool))],
+			Left:      grow(depth + 1),
+			Right:     grow(depth + 1),
+		}
+	}
+	return &dtree.Tree{Root: grow(0), NumFeatures: numFeatures, NumClasses: numClasses}
+}
+
+func randVector(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		if rng.Float64() < 0.5 {
+			x[i] = valuePool[rng.Intn(len(valuePool))]
+		} else {
+			x[i] = rng.NormFloat64() * 10
+		}
+	}
+	return x
+}
+
+func stepsEqual(a, b dtree.TrailStep) bool {
+	feq := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	return a.Feature == b.Feature && a.Right == b.Right &&
+		feq(a.Threshold, b.Threshold) && feq(a.Value, b.Value)
+}
+
+// TestCompiledMatchesInterpreted is the differential property test the
+// whole subsystem rests on: on randomized trees and vectors (including
+// NaN and boundary thresholds), every compiled evaluation mode — flat
+// walk, specialized closure, batched, trail-recording, offset-recording
+// — must agree exactly with the interpreted dtree walk.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const trees, vectors = 150, 100
+	for ti := 0; ti < trees; ti++ {
+		numFeatures := 1 + rng.Intn(8)
+		dt := randTree(rng, numFeatures, 1+rng.Intn(5), 1+rng.Intn(8))
+		ct, err := Compile(dt)
+		if err != nil {
+			t.Fatalf("tree %d: Compile: %v", ti, err)
+		}
+		fn := ct.Func()
+		X := make([][]float64, vectors)
+		for i := range X {
+			X[i] = randVector(rng, numFeatures)
+		}
+		batched := make([]int, vectors)
+		ct.PredictN(X, batched)
+		var trailC, trailI [64]dtree.TrailStep
+		var offs [65]int32
+		for vi, x := range X {
+			want := dt.Predict(x)
+			if got := ct.Predict(x); got != want {
+				t.Fatalf("tree %d vec %d (%v): compiled %d, interpreted %d", ti, vi, x, got, want)
+			}
+			if got := fn(x); got != want {
+				t.Fatalf("tree %d vec %d (%v): %v closure %d, interpreted %d", ti, vi, x, ct.Kind(), got, want)
+			}
+			if batched[vi] != want {
+				t.Fatalf("tree %d vec %d (%v): batched %d, interpreted %d", ti, vi, x, batched[vi], want)
+			}
+			wantLabel, wantSteps := dt.PredictTrail(x, trailI[:])
+			gotLabel, gotSteps := ct.PredictTrail(x, trailC[:])
+			if gotLabel != wantLabel || gotSteps != wantSteps {
+				t.Fatalf("tree %d vec %d: trail (%d,%d), interpreted (%d,%d)",
+					ti, vi, gotLabel, gotSteps, wantLabel, wantSteps)
+			}
+			for s := 0; s < gotSteps; s++ {
+				if !stepsEqual(trailC[s], trailI[s]) {
+					t.Fatalf("tree %d vec %d step %d: compiled %+v, interpreted %+v",
+						ti, vi, s, trailC[s], trailI[s])
+				}
+			}
+			// The compact offset encoding must decode back to the exact
+			// trail the direct walk records.
+			oLabel, n := ct.PredictOffsets(x, offs[:])
+			if oLabel != want {
+				t.Fatalf("tree %d vec %d: offsets label %d, want %d", ti, vi, oLabel, want)
+			}
+			var decoded [64]dtree.TrailStep
+			dSteps := ct.DecodeOffsets(offs[:n], nil, x, decoded[:])
+			if dSteps != wantSteps {
+				t.Fatalf("tree %d vec %d: decoded %d steps, want %d", ti, vi, dSteps, wantSteps)
+			}
+			for s := 0; s < dSteps; s++ {
+				if !stepsEqual(decoded[s], trailI[s]) {
+					t.Fatalf("tree %d vec %d step %d: decoded %+v, interpreted %+v",
+						ti, vi, s, decoded[s], trailI[s])
+				}
+			}
+		}
+	}
+}
+
+// FuzzCompiledPredict lets the fuzzer drive both the tree shape (via the
+// seed) and the vector bytes.
+func FuzzCompiledPredict(f *testing.F) {
+	f.Add(int64(1), uint64(0x7ff8000000000001), uint64(42), uint64(1<<63))
+	f.Add(int64(99), uint64(0), uint64(0xfff0000000000000), uint64(0x3ff0000000000000))
+	f.Fuzz(func(t *testing.T, seed int64, b0, b1, b2 uint64) {
+		rng := rand.New(rand.NewSource(seed))
+		numFeatures := 1 + rng.Intn(6)
+		dt := randTree(rng, numFeatures, 4, 7)
+		ct, err := Compile(dt)
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		raw := []uint64{b0, b1, b2}
+		x := make([]float64, numFeatures)
+		for i := range x {
+			x[i] = math.Float64frombits(raw[i%len(raw)] ^ uint64(i)*0x9e3779b97f4a7c15)
+		}
+		want := dt.Predict(x)
+		if got := ct.Predict(x); got != want {
+			t.Fatalf("compiled %d, interpreted %d on %v", got, want, x)
+		}
+		if got := ct.Func()(x); got != want {
+			t.Fatalf("closure %d, interpreted %d on %v", got, want, x)
+		}
+		var offs [128]int32
+		if got, _ := ct.PredictOffsets(x, offs[:]); got != want {
+			t.Fatalf("offsets %d, interpreted %d on %v", got, want, x)
+		}
+	})
+}

@@ -115,7 +115,9 @@ type TrailStep struct {
 func (t *Tree) PredictTrail(x []float64, trail []TrailStep) (label, steps int) {
 	n := t.Root
 	for !n.IsLeaf() {
-		right := x[n.Feature] > n.Threshold
+		// Written as the negation of Predict's comparison so a NaN value
+		// goes right on both paths; `v > threshold` would send it left.
+		right := !(x[n.Feature] <= n.Threshold)
 		if steps < len(trail) {
 			trail[steps] = TrailStep{
 				Feature:   int32(n.Feature),

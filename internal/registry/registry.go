@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"apollo/internal/core"
+	"apollo/internal/ctree"
 )
 
 // Entry is one published model version. Entries are immutable: a
@@ -44,8 +45,24 @@ type Entry struct {
 	SchemaHash string
 	// Model is the deserialized model, ready to evaluate.
 	Model *core.Model
+	// Compiled is the model's tree flattened at publish time (see
+	// package ctree); the serving layer's cache-miss predicts walk this,
+	// never the interpreted nodes.
+	Compiled *ctree.Tree
 	// Raw is the canonical envelope JSON as persisted and served.
 	Raw []byte
+}
+
+// PredictClass evaluates x (model-schema layout) through the compiled
+// tree, falling back to the interpreted walk for the rare entry whose
+// tree the compiler rejected.
+//
+//apollo:hotpath
+func (e *Entry) PredictClass(x []float64) int {
+	if e.Compiled != nil {
+		return e.Compiled.Predict(x)
+	}
+	return e.Model.Predict(x)
 }
 
 // Registry is the store. Reads are lock-free (one atomic map load plus
@@ -194,6 +211,13 @@ func (r *Registry) publishLocked(name string, wantVersion int, m *core.Model) (*
 	if version < 1 {
 		version = 1
 	}
+	// Compile before accepting: a model the compiler rejects is
+	// structurally broken (missing children, out-of-range features) and
+	// must not be published at all.
+	ct, err := ctree.Compile(m.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("registry: publishing %q: %w", name, err)
+	}
 	raw, err := core.WrapModel(name, version, m).MarshalJSON()
 	if err != nil {
 		return nil, err
@@ -205,6 +229,7 @@ func (r *Registry) publishLocked(name string, wantVersion int, m *core.Model) (*
 		ETag:       contentETag(raw),
 		SchemaHash: m.SchemaHash(),
 		Model:      m,
+		Compiled:   ct,
 		Raw:        raw,
 	}
 	if r.dir != "" {
@@ -345,6 +370,14 @@ func (r *Registry) scan() (int, error) {
 			r.logf("registry: ignoring corrupt model file %s: %v", f.path, err)
 			continue
 		}
+		ct, err := ctree.Compile(env.Model.Tree)
+		if err != nil {
+			r.mu.Unlock()
+			// Parsed but uncompilable: treat it exactly like a corrupt
+			// file — keep serving what we have.
+			r.logf("registry: ignoring uncompilable model file %s: %v", f.path, err)
+			continue
+		}
 		version := env.Version
 		if version == 0 {
 			version = f.version
@@ -362,6 +395,7 @@ func (r *Registry) scan() (int, error) {
 			ETag:       contentETag(data),
 			SchemaHash: env.Model.SchemaHash(),
 			Model:      env.Model,
+			Compiled:   ct,
 			Raw:        data,
 		})
 		loaded++

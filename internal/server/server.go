@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"apollo/internal/ctree"
 	"apollo/internal/flight"
 	"apollo/internal/metrics"
 	"apollo/internal/registry"
@@ -137,18 +138,21 @@ func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// modelInfo is the JSON summary of one registry entry.
+// modelInfo is the JSON summary of one registry entry. Compiled carries
+// the publish-time ctree compilation stats (node counts, flat-array
+// bytes, specialization kind) when the entry compiled.
 type modelInfo struct {
-	Name       string `json:"name"`
-	Version    int    `json:"version"`
-	ETag       string `json:"etag"`
-	SchemaHash string `json:"schema_hash"`
-	Parameter  string `json:"parameter"`
-	Features   int    `json:"features"`
+	Name       string       `json:"name"`
+	Version    int          `json:"version"`
+	ETag       string       `json:"etag"`
+	SchemaHash string       `json:"schema_hash"`
+	Parameter  string       `json:"parameter"`
+	Features   int          `json:"features"`
+	Compiled   *ctree.Stats `json:"compiled,omitempty"`
 }
 
 func info(e *registry.Entry) modelInfo {
-	return modelInfo{
+	mi := modelInfo{
 		Name:       e.Name,
 		Version:    e.Version,
 		ETag:       e.ETag,
@@ -156,6 +160,11 @@ func info(e *registry.Entry) modelInfo {
 		Parameter:  e.Model.Param.String(),
 		Features:   e.Model.Schema.Len(),
 	}
+	if e.Compiled != nil {
+		st := e.Compiled.Stats()
+		mi.Compiled = &st
+	}
+	return mi
 }
 
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
@@ -271,15 +280,24 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, "set exactly one of x, batch, or features")
 		return
 	}
-	resp := predictResponse{Model: e.Name, Version: e.Version}
 	for i, x := range vectors {
 		if len(x) != want {
 			errorJSON(w, http.StatusBadRequest, "vector %d has %d features, model %q wants %d",
 				i, len(x), req.Model, want)
 			return
 		}
-		resp.Classes = append(resp.Classes, s.predict(e, x))
-		resp.Labels = append(resp.Labels, e.Model.Param.ClassName(resp.Classes[i]))
+	}
+	resp := predictResponse{Model: e.Name, Version: e.Version}
+	if !single && len(vectors) > 1 && e.Compiled != nil {
+		resp.Classes = s.predictBatch(e, vectors)
+	} else {
+		for _, x := range vectors {
+			resp.Classes = append(resp.Classes, s.predict(e, x))
+		}
+	}
+	resp.Labels = make([]string, len(resp.Classes))
+	for i, c := range resp.Classes {
+		resp.Labels[i] = e.Model.Param.ClassName(c)
 	}
 	s.met.CounterAdd("apollo_predictions_total", "", "",
 		"Feature vectors evaluated by POST /predict.", uint64(len(vectors)))
@@ -309,12 +327,26 @@ func (s *Server) predict(e *registry.Entry, x []float64) int {
 	if !s.fl.SiteKnown(siteID) {
 		s.fl.RegisterSite(siteID, e.Name, e.Model.Schema.Names())
 	}
+	if e.Compiled != nil {
+		// Server vectors are already in the model's own schema, so the
+		// decoder needs no source mapping; re-register only when a
+		// republish swapped the compiled tree.
+		if d := s.fl.SiteDecoder(siteID); d == nil || d.Tree != e.Compiled {
+			s.fl.SetSiteDecoder(siteID, &flight.TrailDecoder{Tree: e.Compiled})
+		}
+	}
 	t0 := flight.Now()
 	rec, tok := s.fl.Reserve(siteID)
 	if rec != nil {
-		var steps int
-		class, steps = e.Model.Tree.PredictTrail(x, rec.Trail[:])
-		rec.TrailLen = int32(steps)
+		if e.Compiled != nil {
+			var n int
+			class, n = e.Compiled.PredictOffsets(x, rec.Offsets[:])
+			rec.OffsetsLen = int32(n)
+		} else {
+			var steps int
+			class, steps = e.Model.Tree.PredictTrail(x, rec.Trail[:])
+			rec.TrailLen = int32(steps)
+		}
 		rec.NumFeatures = int32(copy(rec.Features[:], x))
 		rec.Predicted = int32(class)
 		rec.Policy = int32(class)
@@ -323,7 +355,7 @@ func (s *Server) predict(e *registry.Entry, x []float64) int {
 		rec.ObservedNS = evalNS
 		rec.PredictedNS = s.fl.PredictObserve(siteID, class, evalNS)
 	} else {
-		class = e.Model.Predict(x)
+		class = e.PredictClass(x)
 	}
 	s.fl.Commit(tok)
 	s.cacheMu.Lock()
@@ -333,6 +365,51 @@ func (s *Server) predict(e *registry.Entry, x []float64) int {
 	s.decisions[key] = class
 	s.cacheMu.Unlock()
 	return class
+}
+
+// predictBatch evaluates a multi-vector request through the memo cache,
+// then runs every memo-missing vector in one compiled PredictN sweep —
+// one bounds-checked dispatch for the whole batch instead of a closure
+// call per vector. Batched misses skip per-vector flight records (bulk
+// scoring is not an interactive decision site); they surface in the
+// batched-predictions counter instead.
+func (s *Server) predictBatch(e *registry.Entry, vectors [][]float64) []int {
+	classes := make([]int, len(vectors))
+	keys := make([]string, len(vectors))
+	var missIdx []int
+	var miss [][]float64
+	s.cacheMu.RLock()
+	for i, x := range vectors {
+		keys[i] = decisionKey(e.ETag, x)
+		if class, hit := s.decisions[keys[i]]; hit {
+			classes[i] = class
+		} else {
+			missIdx = append(missIdx, i)
+			miss = append(miss, x)
+		}
+	}
+	s.cacheMu.RUnlock()
+	if hits := len(vectors) - len(miss); hits > 0 {
+		s.met.CounterAdd("apollo_predict_cache_hits_total", "", "",
+			"Predictions answered from the decision memo cache.", uint64(hits))
+	}
+	if len(miss) == 0 {
+		return classes
+	}
+	out := make([]int, len(miss))
+	e.Compiled.PredictN(miss, out)
+	s.met.CounterAdd("apollo_predict_batched_total", "", "",
+		"Memo-missing vectors evaluated through the compiled batch walk.", uint64(len(miss)))
+	s.cacheMu.Lock()
+	if len(s.decisions)+len(miss) > decisionCacheCap {
+		s.decisions = make(map[string]int)
+	}
+	for j, i := range missIdx {
+		classes[i] = out[j]
+		s.decisions[keys[i]] = out[j]
+	}
+	s.cacheMu.Unlock()
+	return classes
 }
 
 // siteIDFor derives the stable flight-recorder site ID for a model name

@@ -14,7 +14,9 @@ import (
 
 	"apollo/internal/core"
 	"apollo/internal/dataset"
+	"apollo/internal/dtree"
 	"apollo/internal/features"
+	"apollo/internal/flight"
 	"apollo/internal/raja"
 	"apollo/internal/registry"
 )
@@ -209,6 +211,122 @@ func TestPredictSingleBatchAndFeatures(t *testing.T) {
 		if resp.StatusCode == http.StatusOK {
 			t.Errorf("bad request %s accepted", bad)
 		}
+	}
+}
+
+// TestPredictCompiledOffsetsAndStats covers the compiled decision path
+// end to end at the server: the model listing exposes compilation stats,
+// a cache-missing single predict records a compact offset trail the
+// registered decoder can expand, and a batch request runs memo-missing
+// vectors through the compiled batch walk (batched counter) while
+// agreeing with single-vector answers.
+func TestPredictCompiledOffsetsAndStats(t *testing.T) {
+	reg := registry.New()
+	srv := New(reg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	m := testModel(t)
+	mi := putModel(t, ts, "policy", m)
+	if mi.Compiled == nil || mi.Compiled.Nodes == 0 || mi.Compiled.Kind == "" {
+		t.Fatalf("publish info lacks compiled stats: %+v", mi.Compiled)
+	}
+	if mi.Compiled.FlatBytes != mi.Compiled.Internal*24 {
+		t.Errorf("flat_bytes = %d, want %d", mi.Compiled.FlatBytes, mi.Compiled.Internal*24)
+	}
+
+	post := func(body []byte) map[string]any {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict status %s", resp.Status)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Cache-missing single predict: the flight record carries the compact
+	// offset trail, no TrailSteps, and the site decoder expands it to the
+	// same class the response reported.
+	x := make([]float64, m.Schema.Len())
+	x[m.Schema.Index(features.NumIndices)] = 131072
+	body, _ := json.Marshal(map[string]any{"model": "policy", "x": x})
+	out := post(body)
+	recs := srv.Flight().Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("got %d flight records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.TrailLen != 0 || rec.OffsetsLen == 0 {
+		t.Fatalf("compiled miss recorded TrailLen=%d OffsetsLen=%d, want offsets only", rec.TrailLen, rec.OffsetsLen)
+	}
+	dec := srv.Flight().SiteDecoder(rec.Site)
+	if dec == nil || dec.Tree == nil {
+		t.Fatal("compiled site has no registered decoder")
+	}
+	var steps [flight.MaxTrail]dtree.TrailStep
+	n := dec.Tree.DecodeOffsets(rec.Offsets[:rec.OffsetsLen], dec.Src, rec.Features[:rec.NumFeatures], steps[:])
+	if n == 0 {
+		t.Fatal("offset trail decoded to zero steps")
+	}
+	if got := out["class"].(float64); got != float64(rec.Predicted) {
+		t.Errorf("response class %g != recorded prediction %d", got, rec.Predicted)
+	}
+
+	// Batch with fresh vectors: answered by the compiled batch walk and
+	// consistent with single-vector predictions.
+	batch := make([][]float64, 6)
+	single := make([]float64, len(batch))
+	for i := range batch {
+		v := make([]float64, m.Schema.Len())
+		v[m.Schema.Index(features.NumIndices)] = float64(int(64) << (2 * i))
+		batch[i] = v
+	}
+	body, _ = json.Marshal(map[string]any{"model": "policy", "batch": batch})
+	out = post(body)
+	classes := out["classes"].([]any)
+	if len(classes) != len(batch) {
+		t.Fatalf("batch returned %d classes, want %d", len(classes), len(batch))
+	}
+	for i, v := range batch {
+		body, _ = json.Marshal(map[string]any{"model": "policy", "x": v})
+		single[i] = post(body)["class"].(float64)
+		if classes[i].(float64) != single[i] {
+			t.Errorf("vector %d: batch class %v != single class %g", i, classes[i], single[i])
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	samples := parsePrometheus(t, string(raw))
+	if got := samples["apollo_predict_batched_total"]; got != float64(len(batch)) {
+		t.Errorf("apollo_predict_batched_total = %g, want %d", got, len(batch))
+	}
+
+	// The model listing carries the same compiled stats as publish.
+	resp, err = http.Get(ts.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Models []modelInfo `json:"models"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil || len(list.Models) != 1 || list.Models[0].Compiled == nil {
+		t.Fatalf("model listing lacks compiled stats: %+v (%v)", list.Models, err)
+	}
+	if *list.Models[0].Compiled != *mi.Compiled {
+		t.Errorf("listing stats %+v != publish stats %+v", *list.Models[0].Compiled, *mi.Compiled)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"apollo/internal/caliper"
+	"apollo/internal/dtree"
 	"apollo/internal/features"
 	"apollo/internal/flight"
 	"apollo/internal/raja"
@@ -49,23 +50,38 @@ func TestTunerEndEmitsFlight(t *testing.T) {
 	if first.Explored {
 		t.Fatal("non-explored launch marked Explored")
 	}
-	if first.TrailLen == 0 {
-		t.Fatal("no decision trail captured")
+	// A single compiled model records the compact offset trail, not
+	// TrailSteps.
+	if first.TrailLen != 0 {
+		t.Fatalf("compiled site recorded %d TrailSteps, want compact offsets only", first.TrailLen)
+	}
+	if first.OffsetsLen == 0 {
+		t.Fatal("no compact offset trail captured")
 	}
 	ni := schema.Index(features.NumIndices)
 	if int(first.NumFeatures) <= ni || first.Features[ni] != 50 {
 		t.Fatalf("feature snapshot wrong: n=%d num_indices=%g", first.NumFeatures, first.Features[ni])
 	}
-	// The trail must consult num_indices (the model's only informative
-	// feature) in source-schema indexing.
+	// Decoding the offsets against the site's registered decoder must
+	// reconstruct a trail that consults num_indices (the model's only
+	// informative feature) in source-schema indexing.
+	dec := fr.SiteDecoder(first.Site)
+	if dec == nil || dec.Tree == nil {
+		t.Fatal("compiled site did not register a trail decoder")
+	}
+	var steps [flight.MaxTrail]dtree.TrailStep
+	n := dec.Tree.DecodeOffsets(first.Offsets[:first.OffsetsLen], dec.Src, first.Features[:first.NumFeatures], steps[:])
+	if n == 0 {
+		t.Fatal("offset trail decoded to zero steps")
+	}
 	found := false
-	for _, st := range first.Trail[:first.TrailLen] {
+	for _, st := range steps[:n] {
 		if int(st.Feature) == ni && st.Value == 50 {
 			found = true
 		}
 	}
 	if !found {
-		t.Fatalf("trail does not consult num_indices: %+v", first.Trail[:first.TrailLen])
+		t.Fatalf("decoded trail does not consult num_indices: %+v", steps[:n])
 	}
 	if first.ObservedNS != 500 || first.PredictedNS != 0 {
 		t.Fatalf("first record predicted/observed = %g/%g, want 0/500", first.PredictedNS, first.ObservedNS)
