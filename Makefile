@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race stress bench results quick-results cover clean serve-smoke loop-smoke flight-smoke fleet-smoke compile-smoke
+.PHONY: all build lint test race stress bench results quick-results cover clean serve-smoke loop-smoke flight-smoke fleet-smoke compile-smoke vet-bench
 
 all: build lint test race flight-smoke fleet-smoke compile-smoke
 
@@ -12,12 +12,20 @@ build:
 
 # apollo-vet enforces the project invariants — hot-path no-alloc /
 # lock-free, 386 atomic alignment, schema-hash drift, lock-rank order,
-# goroutine-leak freedom, deterministic serialization, and live waivers
-# — over the whole module; the 386 cross-build keeps the alignment
-# analyzer honest against the real compiler.
+# goroutine-leak freedom, deterministic serialization, copy-on-write
+# publication discipline, and live waivers — over the whole module; the
+# 386 cross-build keeps the alignment analyzer honest against the real
+# compiler.
 lint:
 	$(GO) run ./cmd/apollo-vet ./...
 	GOARCH=386 $(GO) build ./...
+
+# Self-run benchmark: the full analyzer suite over this module, with the
+# machine-readable summary (per-analyzer counts, live waivers, wall
+# time) written next to the other results.
+vet-bench:
+	$(GO) run ./cmd/apollo-vet -summary-out results/vet_summary.json ./...
+	@cat results/vet_summary.json
 
 test:
 	$(GO) test ./...

@@ -75,7 +75,7 @@ func main() {
 
 // latencies accumulates round-trip samples from all clients.
 type latencies struct {
-	mu sync.Mutex
+	mu sync.Mutex //apollo:lockrank 19
 	ns []float64
 }
 

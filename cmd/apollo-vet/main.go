@@ -6,21 +6,30 @@
 // lockorder (nested mutex acquisitions must follow declared
 // //apollo:lockrank order and stay acyclic), goleak (spawned goroutines
 // must have a guaranteed exit), detorder (map iteration must not feed
-// serialization or hashing), and waiverdrift (waiver and blocking
-// annotations must still be live).
+// serialization or hashing), cowsafe (values published through an
+// atomic.Pointer are frozen and Load results are read-only), pubinit
+// (initialization must precede the publish, including through calls
+// that mutate their argument), sharedcap (goroutine closures must not
+// capture locals the spawner keeps writing), and waiverdrift (waiver
+// and blocking annotations must still be live).
 //
 // Usage:
 //
-//	apollo-vet [-analyzers hotpath,lockorder] [-json] [package-dir]
+//	apollo-vet [-analyzers hotpath,lockorder] [-json] [-summary-out f] [package-dir]
 //
 // The argument selects the module containing the packages to analyze
 // (default "."); the whole module is always loaded so cross-package call
 // chains resolve. Diagnostics print as file:line:col lines with the
 // violating call chain — or, with -json, as one JSON object per line
 // (file, line, col, analyzer, message, chain) for CI annotation
-// renderers. A final "N diagnostics from M analyzers" summary goes to
-// stderr on every path, including load failures. Any finding exits 1;
-// load or usage errors exit 2.
+// renderers, followed by one final machine-readable summary record
+// ({"summary":true, ...}) carrying per-analyzer diagnostic counts, the
+// number of live waivers, and the wall time of the run. -summary-out
+// writes that same record to a file on any run that completes analysis,
+// so CI can archive it as an artifact without scraping stdout. A final
+// "N diagnostics from M analyzers" line goes to stderr on every path,
+// including load failures. Any finding exits 1; load or usage errors
+// exit 2.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"apollo/internal/analysis"
 )
@@ -42,10 +52,22 @@ type jsonDiagnostic struct {
 	Chain    []string `json:"chain,omitempty"`
 }
 
+// jsonSummary is the final machine-readable record of one run: the
+// shape archived by CI and recorded in results/BENCH_vet.json.
+type jsonSummary struct {
+	Summary     bool           `json:"summary"`
+	Diagnostics int            `json:"diagnostics"`
+	PerAnalyzer map[string]int `json:"analyzers"`
+	WaiversUsed int            `json:"waivers_used"`
+	Packages    int            `json:"packages"`
+	WallMS      float64        `json:"wall_ms"`
+}
+
 func main() {
 	names := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
-	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line instead of the human format")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line plus a final summary record")
+	summaryOut := flag.String("summary-out", "", "write the JSON summary record to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: apollo-vet [flags] [dir]\n\n"+
 			"Runs Apollo's static analyzers over the module containing dir.\n\n")
@@ -81,6 +103,7 @@ func main() {
 			dir = arg
 		}
 	}
+	start := time.Now()
 	root, err := analysis.FindModuleRoot(dir)
 	if err != nil {
 		fatal(err, len(analyzers))
@@ -89,7 +112,9 @@ func main() {
 	if err != nil {
 		fatal(err, len(analyzers))
 	}
-	diags := analysis.RunAll(prog, analyzers)
+	diags, stats := analysis.RunAllStats(prog, analyzers)
+	wall := time.Since(start)
+
 	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		if *jsonOut {
@@ -106,6 +131,28 @@ func main() {
 			continue
 		}
 		fmt.Println(d.String())
+	}
+	rec := jsonSummary{
+		Summary:     true,
+		Diagnostics: len(diags),
+		PerAnalyzer: stats.PerAnalyzer,
+		WaiversUsed: stats.WaiversUsed,
+		Packages:    len(prog.Packages),
+		WallMS:      float64(wall.Microseconds()) / 1000,
+	}
+	if *jsonOut {
+		if err := enc.Encode(rec); err != nil {
+			fatal(err, len(analyzers))
+		}
+	}
+	if *summaryOut != "" {
+		b, err := json.MarshalIndent(rec, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*summaryOut, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fatal(err, len(analyzers))
+		}
 	}
 	summary(len(diags))
 	if len(diags) > 0 {

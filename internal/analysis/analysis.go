@@ -31,6 +31,17 @@
 //     send on an unbuffered channel) and sound WaitGroup use;
 //   - detorder: range-over-map bodies must not feed serialization,
 //     hashing, or encoding sinks (nondeterministic model bytes);
+//   - cowsafe: values published through atomic.Pointer
+//     Store/Swap/CompareAndSwap are frozen — no write through any alias
+//     after the publish — and Load results are read-only (the
+//     copy-on-write publication discipline, checked through a per-
+//     function def-use/alias layer);
+//   - pubinit: every write initializing a published value must precede
+//     the publish, including call-mediated writes proven through
+//     module-wide "mutates its argument" summaries over the call graph;
+//   - sharedcap: goroutine closures and stored callbacks must not
+//     capture locals the spawner keeps writing after the spawn
+//     (unsynchronized shared write);
 //   - waiverdrift: every waiver directive must still suppress at least
 //     one diagnostic, and //apollo:blocking functions must actually be
 //     able to block, so the annotation contract cannot rot.
@@ -55,6 +66,13 @@
 //	                                   line (or the go statement's line)
 //	//apollo:detorderok <reason>       suppress a detorder finding on this
 //	                                   line (range or sink); reason required
+//	//apollo:cowok <reason>            suppress cowsafe/pubinit findings on
+//	                                   this line, or on the whole function
+//	                                   when placed in its doc comment;
+//	                                   reason required
+//	//apollo:sharedcapok <reason>      suppress a sharedcap finding on the
+//	                                   escape's or the write's line;
+//	                                   reason required
 package analysis
 
 import (
@@ -92,12 +110,16 @@ type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(prog *Program) []Diagnostic
+	// runTracked, when set, is Run with waiver-use accounting: every
+	// directive that suppresses a finding is recorded in uses. Analyzers
+	// without waivers leave it nil.
+	runTracked func(prog *Program, uses *waiverUse) []Diagnostic
 }
 
 // All returns the full apollo-vet analyzer suite.
 func All() []*Analyzer {
 	return []*Analyzer{HotPath, AtomicAlign, LockScope, SchemaHash,
-		LockOrder, GoLeak, DetOrder, WaiverDrift}
+		LockOrder, GoLeak, DetOrder, CowSafe, PubInit, SharedCap, WaiverDrift}
 }
 
 // ByName returns the analyzers with the given comma-separated names.
@@ -126,20 +148,50 @@ func ByName(names string) ([]*Analyzer, error) {
 // RunAll runs the analyzers in parallel over the program and returns the
 // combined diagnostics sorted by position.
 func RunAll(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAllStats(prog, analyzers)
+	return diags
+}
+
+// Stats summarizes one analyzer run for machine consumers (the driver's
+// -json summary record and results/BENCH_vet.json).
+type Stats struct {
+	// PerAnalyzer counts diagnostics by analyzer name; analyzers that
+	// ran clean appear with a zero count, so CI diffs see them.
+	PerAnalyzer map[string]int
+	// WaiversUsed is how many distinct waiver directives suppressed at
+	// least one finding during this run (only analyzers with a tracking
+	// mode contribute).
+	WaiversUsed int
+}
+
+// RunAllStats is RunAll plus per-analyzer accounting: analyzers with a
+// tracking mode run in it against a shared waiver-use record, so the
+// stats report how many waivers are load-bearing right now.
+func RunAllStats(prog *Program, analyzers []*Analyzer) ([]Diagnostic, Stats) {
+	uses := &waiverUse{}
 	results := make([][]Diagnostic, len(analyzers))
 	var wg sync.WaitGroup
 	for i, a := range analyzers {
 		wg.Add(1)
 		go func(i int, a *Analyzer) {
 			defer wg.Done()
-			results[i] = a.Run(prog)
+			if a.runTracked != nil {
+				results[i] = a.runTracked(prog, uses)
+			} else {
+				results[i] = a.Run(prog)
+			}
 		}(i, a)
 	}
 	wg.Wait()
+	stats := Stats{PerAnalyzer: map[string]int{}}
 	var all []Diagnostic
-	for _, r := range results {
+	for i, r := range results {
+		stats.PerAnalyzer[analyzers[i].Name] += len(r)
 		all = append(all, r...)
 	}
+	uses.mu.Lock()
+	stats.WaiversUsed = len(uses.used)
+	uses.mu.Unlock()
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -153,20 +205,22 @@ func RunAll(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return all
+	return all, stats
 }
 
 // Directive names (the text after "//apollo:").
 const (
-	dirHotPath    = "hotpath"
-	dirBlocking   = "blocking"
-	dirColdPath   = "coldpath"
-	dirAllocOK    = "allocok"
-	dirLockOK     = "lockok"
-	dirSchemaHash = "schemahash"
-	dirLockRank   = "lockrank"
-	dirGoLeakOK   = "goleakok"
-	dirDetOrderOK = "detorderok"
+	dirHotPath     = "hotpath"
+	dirBlocking    = "blocking"
+	dirColdPath    = "coldpath"
+	dirAllocOK     = "allocok"
+	dirLockOK      = "lockok"
+	dirSchemaHash  = "schemahash"
+	dirLockRank    = "lockrank"
+	dirGoLeakOK    = "goleakok"
+	dirDetOrderOK  = "detorderok"
+	dirCowOK       = "cowok"
+	dirSharedCapOK = "sharedcapok"
 )
 
 // directive is one parsed //apollo:* comment.

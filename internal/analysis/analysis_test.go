@@ -12,7 +12,7 @@ import (
 	"testing"
 )
 
-// wantRe extracts the expectation regexp from a `// want `+"`re`"+`` comment.
+// wantRe extracts the expectation regexp from a `// want `+"`re`"+“ comment.
 var wantRe = regexp.MustCompile("// want `([^`]+)`")
 
 // expectation is one `// want` marker: a diagnostic matching re must be
@@ -169,6 +169,30 @@ func TestGoLeakCorpus(t *testing.T) {
 
 func TestDetOrderCorpus(t *testing.T) {
 	runCorpus(t, "detordermod", []*Analyzer{DetOrder})
+}
+
+func TestCowSafeCorpus(t *testing.T) {
+	runCorpus(t, "cowmod", []*Analyzer{CowSafe})
+}
+
+func TestPubInitCorpus(t *testing.T) {
+	diags := runCorpus(t, "pubinitmod", []*Analyzer{PubInit})
+
+	// A call-mediated late write must carry the caller -> mutator chain
+	// so the report is actionable without re-deriving the call graph.
+	var chained bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "pubinitmod.touch") && len(d.Chain) > 1 {
+			chained = true
+		}
+	}
+	if !chained {
+		t.Error("no transitive pubinit diagnostic carried a call chain")
+	}
+}
+
+func TestSharedCapCorpus(t *testing.T) {
+	runCorpus(t, "sharedcapmod", []*Analyzer{SharedCap})
 }
 
 func TestWaiverDriftCorpus(t *testing.T) {

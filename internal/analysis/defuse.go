@@ -1,0 +1,666 @@
+package analysis
+
+// defuse.go is the lightweight intraprocedural def-use/alias layer the
+// publication-discipline analyzers (cowsafe, pubinit, sharedcap) are
+// built on. It is deliberately not SSA: Apollo's copy-on-write idiom is
+// lexically simple — build a fresh value, publish it through an
+// atomic.Pointer, never touch it again — so a per-function pass that
+// tracks value aliases (v := u), address-taking (v := &u), values
+// derived from atomic.Pointer Load/Swap results, and the statements
+// sequenced after a given statement is enough to check the discipline
+// without whole-program points-to analysis. Escape into calls is
+// handled by mutParams, a module-wide "mutates its argument" summary
+// computed over the PR-3 call graph.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomicPtrMethod reports whether obj is one of sync/atomic.Pointer[T]'s
+// methods, returning its name ("Load", "Store", "Swap",
+// "CompareAndSwap").
+func atomicPtrMethod(obj *types.Func) (string, bool) {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	if receiverBaseName(obj) != "Pointer" {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Load", "Store", "Swap", "CompareAndSwap":
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// atomicPtrCall classifies a call expression as an atomic.Pointer[T]
+// method call: a direct selector call (p.Store(v)), a call through an
+// embedded atomic.Pointer field (s.Store(v) with Pointer embedded in
+// s's type), or a call through a locally bound method value
+// (st := p.Store; st(v)). It returns the method name and true on match.
+func atomicPtrCall(pkg *Package, bindings map[types.Object]*types.Func, call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		// Selections covers both the direct and the embedded-field form
+		// (the selection path walks through the embedded Pointer).
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if m, ok := sel.Obj().(*types.Func); ok {
+				return atomicPtrMethod(m)
+			}
+			return "", false
+		}
+		if obj, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return atomicPtrMethod(obj)
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[fun].(*types.Var); ok {
+			if target, ok := bindings[v]; ok {
+				return atomicPtrMethod(target)
+			}
+		}
+	}
+	return "", false
+}
+
+// publishedArg returns the expression a publishing atomic.Pointer call
+// makes visible to other goroutines: the sole argument of Store/Swap,
+// the new-value (second) argument of CompareAndSwap, nil for Load.
+func publishedArg(method string, call *ast.CallExpr) ast.Expr {
+	switch method {
+	case "Store", "Swap":
+		if len(call.Args) == 1 {
+			return call.Args[0]
+		}
+	case "CompareAndSwap":
+		if len(call.Args) == 2 {
+			return call.Args[1]
+		}
+	}
+	return nil
+}
+
+// fnFlow holds the per-function def-use facts: value-alias classes,
+// address-of edges, and which locals hold values derived from an
+// atomic.Pointer Load (or the old value returned by Swap).
+type fnFlow struct {
+	pkg      *Package
+	decl     *ast.FuncDecl
+	parents  map[ast.Node]ast.Node
+	bindings map[types.Object]*types.Func
+
+	alias map[*types.Var]*types.Var // union-find parent for value aliases
+	ptrTo map[*types.Var]*types.Var // v := &u: writes through v hit cell u
+	load  map[*types.Var]bool       // v holds a Load/Swap-derived value
+}
+
+// newFnFlow computes the def-use facts for one declared function.
+func newFnFlow(pkg *Package, decl *ast.FuncDecl) *fnFlow {
+	f := &fnFlow{
+		pkg:      pkg,
+		decl:     decl,
+		parents:  parentsOf(decl.Body),
+		bindings: methodBindings(pkg, decl.Body),
+		alias:    map[*types.Var]*types.Var{},
+		ptrTo:    map[*types.Var]*types.Var{},
+		load:     map[*types.Var]bool{},
+	}
+
+	// Collect assignment pairs once, then iterate the load-derivation
+	// transfer to a fixpoint (flow-insensitive; the classes only grow).
+	type pair struct {
+		lhs *types.Var
+		rhs ast.Expr
+	}
+	var pairs []pair
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v := f.identVar(id, n.Tok == token.DEFINE)
+				if v == nil {
+					continue
+				}
+				rhs := ast.Unparen(n.Rhs[i])
+				pairs = append(pairs, pair{lhs: v, rhs: rhs})
+				switch r := rhs.(type) {
+				case *ast.Ident:
+					if u, ok := pkg.Info.Uses[r].(*types.Var); ok && aliasShaped(u.Type()) {
+						f.union(v, u)
+					}
+				case *ast.UnaryExpr:
+					if r.Op == token.AND {
+						if base, ok := ast.Unparen(r.X).(*ast.Ident); ok {
+							if u, ok := pkg.Info.Uses[base].(*types.Var); ok {
+								f.ptrTo[v] = u
+							}
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if i >= len(n.Values) {
+					break
+				}
+				v, ok := pkg.Info.Defs[id].(*types.Var)
+				if !ok {
+					continue
+				}
+				pairs = append(pairs, pair{lhs: v, rhs: ast.Unparen(n.Values[i])})
+				if r, ok := ast.Unparen(n.Values[i]).(*ast.Ident); ok {
+					if u, ok := pkg.Info.Uses[r].(*types.Var); ok && aliasShaped(u.Type()) {
+						f.union(v, u)
+					}
+				}
+			}
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, p := range pairs {
+			if !f.load[p.lhs] && f.loadDerived(p.rhs) {
+				f.load[p.lhs] = true
+				changed = true
+			}
+		}
+	}
+	return f
+}
+
+// identVar resolves an identifier on an assignment's left side.
+func (f *fnFlow) identVar(id *ast.Ident, define bool) *types.Var {
+	if id.Name == "_" {
+		return nil
+	}
+	if define {
+		if v, ok := f.pkg.Info.Defs[id].(*types.Var); ok {
+			return v
+		}
+	}
+	if v, ok := f.pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// aliasShaped reports whether assigning a value of this type creates an
+// alias (shared mutable state) rather than a copy.
+func aliasShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// union-find over value aliases.
+func (f *fnFlow) find(v *types.Var) *types.Var {
+	for {
+		p, ok := f.alias[v]
+		if !ok || p == v {
+			return v
+		}
+		v = p
+	}
+}
+
+func (f *fnFlow) union(a, b *types.Var) {
+	ra, rb := f.find(a), f.find(b)
+	if ra != rb {
+		f.alias[ra] = rb
+	}
+}
+
+func (f *fnFlow) sameClass(a, b *types.Var) bool { return f.find(a) == f.find(b) }
+
+// loadDerived reports whether the expression's base chain bottoms out at
+// an atomic.Pointer Load (or Swap) call, or at a local already known to
+// hold such a value. Derivation deliberately stops at other calls: the
+// clone-and-republish idiom passes a Load result into a copier and gets
+// back a fresh value that is legitimately mutable.
+func (f *fnFlow) loadDerived(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, ok := f.pkg.Info.Uses[x].(*types.Var)
+			return ok && f.load[v]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return false
+			}
+			e = x.X
+		case *ast.CallExpr:
+			method, ok := atomicPtrCall(f.pkg, f.bindings, x)
+			return ok && (method == "Load" || method == "Swap")
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// pathOf renders an expression as a field path rooted at a variable
+// ("sh.spare"), for matching writes against a published field. Index
+// expressions render as "[]" so any element matches. ok is false when
+// the expression is not a var-rooted path.
+func pathOf(pkg *Package, e ast.Expr) (root *types.Var, path string, ok bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, isVar := pkg.Info.Uses[x].(*types.Var); isVar {
+			return v, x.Name, true
+		}
+	case *ast.SelectorExpr:
+		if root, p, ok := pathOf(pkg, x.X); ok {
+			return root, p + "." + x.Sel.Name, true
+		}
+		// Package-qualified variable: pkg.V.
+		if v, isVar := pkg.Info.Uses[x.Sel].(*types.Var); isVar && v.Pkg() != nil {
+			if _, isPkg := pkg.Info.Uses[firstIdent(x.X)].(*types.PkgName); isPkg {
+				return v, x.Sel.Name, true
+			}
+		}
+	case *ast.IndexExpr:
+		if root, p, ok := pathOf(pkg, x.X); ok {
+			return root, p + "[]", true
+		}
+	case *ast.StarExpr:
+		return pathOf(pkg, x.X)
+	}
+	return nil, "", false
+}
+
+func firstIdent(e ast.Expr) *ast.Ident {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id
+	}
+	return &ast.Ident{}
+}
+
+// pubRoots identifies the published value of one publish call so later
+// writes can be matched against it.
+type pubRoots struct {
+	// cell is the variable whose address was published (&x): both
+	// rebinding x and writing x's elements mutate the published value.
+	cell *types.Var
+	// class is the alias class of a published pointer/map/slice value:
+	// writes through any variable in the class mutate it.
+	class *types.Var
+	// root/path identify a published field path (sh.spare): writes
+	// through a strictly longer path with this prefix mutate it.
+	root *types.Var
+	path string
+}
+
+// empty reports that the publish has nothing trackable (a fresh call
+// result or literal published directly).
+func (r pubRoots) empty() bool { return r.cell == nil && r.class == nil && r.root == nil }
+
+// rootsOf resolves the published expression to its trackable roots.
+func (f *fnFlow) rootsOf(e ast.Expr) pubRoots {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if v, ok := f.pkg.Info.Uses[id].(*types.Var); ok {
+					return pubRoots{cell: v, class: f.find(v)}
+				}
+			}
+		}
+	case *ast.Ident:
+		if v, ok := f.pkg.Info.Uses[x].(*types.Var); ok && aliasShaped(v.Type()) {
+			r := pubRoots{class: f.find(v)}
+			// A pointer local bound by v := &u also exposes cell u.
+			if u, ok := f.ptrTo[v]; ok {
+				r.cell = u
+			}
+			return r
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		if root, path, ok := pathOf(f.pkg, e); ok {
+			return pubRoots{root: root, path: path}
+		}
+	}
+	return pubRoots{}
+}
+
+// write is one mutation found in a function body: an assignment,
+// inc/dec, delete, or copy, with the expression it writes through.
+type write struct {
+	pos  token.Pos
+	base ast.Expr // the full written lvalue (or delete/copy target)
+	// rebind is true for a plain `x = ...`: the variable is rebound, the
+	// old referent is not mutated.
+	rebind bool
+	inGo   bool // the write sits inside a function literal
+}
+
+// writesIn collects every mutation in the body, tagging writes inside
+// function literals (they execute later, possibly concurrently).
+func writesIn(pkg *Package, body ast.Node) []write {
+	var out []write
+	var walk func(n ast.Node, inLit bool)
+	walk = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m != n {
+					walk(m.Body, true)
+					return false
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range m.Lhs {
+					l := ast.Unparen(lhs)
+					if id, ok := l.(*ast.Ident); ok {
+						if id.Name == "_" {
+							continue
+						}
+						out = append(out, write{pos: l.Pos(), base: l, rebind: true, inGo: inLit})
+						continue
+					}
+					out = append(out, write{pos: l.Pos(), base: l, inGo: inLit})
+				}
+			case *ast.IncDecStmt:
+				l := ast.Unparen(m.X)
+				_, isIdent := l.(*ast.Ident)
+				out = append(out, write{pos: l.Pos(), base: l, rebind: isIdent, inGo: inLit})
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok {
+					if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && len(m.Args) > 0 {
+						switch b.Name() {
+						case "delete", "copy", "clear":
+							out = append(out, write{pos: m.Pos(), base: ast.Unparen(m.Args[0]), inGo: inLit})
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return out
+}
+
+// baseVar unwraps a written lvalue to the variable it is rooted at:
+// s.rec.Seq -> s, m[k] -> m, *p -> p. ok is false for dynamic roots
+// (call results, dereferenced temporaries).
+func baseVar(pkg *Package, e ast.Expr) (*types.Var, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, ok := pkg.Info.Uses[x].(*types.Var)
+			return v, ok
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// hits reports whether a write mutates the published value identified by
+// roots, given the function's alias facts.
+func (f *fnFlow) hits(w write, roots pubRoots) bool {
+	if roots.empty() {
+		return false
+	}
+	v, okVar := baseVar(f.pkg, w.base)
+	if roots.cell != nil && okVar {
+		if w.rebind {
+			if v == roots.cell {
+				return true // rebinding the published cell itself
+			}
+		} else {
+			if f.sameClass(v, roots.cell) {
+				return true // writing an element of the published cell's value
+			}
+			// Writing through a pointer that points at the cell (*p = ...).
+			if u, ok := f.ptrTo[v]; ok && u == roots.cell {
+				return true
+			}
+		}
+	}
+	if roots.class != nil && okVar && !w.rebind && f.find(v) == roots.class {
+		return true // writing through an alias of the published pointer
+	}
+	if roots.root != nil && !w.rebind {
+		if wr, wpath, ok := pathOf(f.pkg, w.base); ok && wr == roots.root {
+			if len(wpath) > len(roots.path) && strings.HasPrefix(wpath, roots.path) {
+				return true // writing through the published field path
+			}
+		}
+	}
+	return false
+}
+
+// enclosingStmt walks up from n to the innermost statement that sits
+// directly in a block (or case/comm clause) — the unit afterRegion
+// sequences against.
+func enclosingStmt(parents map[ast.Node]ast.Node, n ast.Node) ast.Stmt {
+	for cur := n; cur != nil; cur = parents[cur] {
+		if s, ok := cur.(ast.Stmt); ok {
+			switch parents[cur].(type) {
+			case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+// afterRegion computes the source regions sequenced after stmt within
+// its function: the statements following it in its own and every
+// enclosing block, plus — when stmt sits inside a loop — the entire
+// outermost enclosing loop body (a lexically earlier statement runs
+// after the publish on the next iteration). Sibling branches of an
+// enclosing if/switch are not included: they cannot execute after it in
+// the same pass.
+type afterRegion struct {
+	spans [][2]token.Pos
+}
+
+func computeAfter(parents map[ast.Node]ast.Node, stmt ast.Stmt) afterRegion {
+	var r afterRegion
+	var cur ast.Node = stmt
+	for cur != nil {
+		parent := parents[cur]
+		var list []ast.Stmt
+		switch p := parent.(type) {
+		case *ast.BlockStmt:
+			list = p.List
+		case *ast.CaseClause:
+			list = p.Body
+		case *ast.CommClause:
+			list = p.Body
+		case *ast.ForStmt:
+			r.spans = append(r.spans, [2]token.Pos{p.Body.Pos(), p.Body.End()})
+		case *ast.RangeStmt:
+			r.spans = append(r.spans, [2]token.Pos{p.Body.Pos(), p.Body.End()})
+		case *ast.FuncDecl:
+			cur = nil
+			continue
+		case *ast.FuncLit:
+			// The publish sits inside a literal; sequencing beyond it is
+			// the literal's caller's business.
+			cur = nil
+			continue
+		}
+		if list != nil {
+			if s, ok := cur.(ast.Stmt); ok {
+				past := false
+				for _, sib := range list {
+					if sib == s {
+						past = true
+						continue
+					}
+					if past {
+						r.spans = append(r.spans, [2]token.Pos{sib.Pos(), sib.End()})
+					}
+				}
+			}
+		}
+		cur = parent
+	}
+	return r
+}
+
+func (r afterRegion) contains(pos token.Pos) bool {
+	for _, s := range r.spans {
+		if pos >= s[0] && pos < s[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// mutParams summarizes, for every module function, which of its
+// parameters (receiver included) it may write through — directly
+// (field/element/pointer writes rooted at the parameter, delete/copy/
+// clear on it) or transitively by passing the parameter onward to a
+// module function that mutates the corresponding parameter. Interface
+// dispatch is not followed: a dynamic callee would make every argument
+// speculatively mutable.
+type mutParams struct {
+	g        *graph
+	memo     map[*types.Func][]bool
+	visiting map[*types.Func]bool
+}
+
+func newMutParams(g *graph) *mutParams {
+	return &mutParams{g: g, memo: map[*types.Func][]bool{}, visiting: map[*types.Func]bool{}}
+}
+
+// paramObjs returns the receiver (if any) followed by the declared
+// parameters, matching the index layout of mutated().
+func paramObjs(fi *funcInfo) []*types.Var {
+	var out []*types.Var
+	sig := fi.obj.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		out = append(out, recv)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// mutated returns the mutability mask for fi's receiver+parameters.
+func (mp *mutParams) mutated(fi *funcInfo) []bool {
+	if m, ok := mp.memo[fi.obj]; ok {
+		return m
+	}
+	if mp.visiting[fi.obj] {
+		return nil // recursion resolves to no-mutation; the outer pass completes it
+	}
+	mp.visiting[fi.obj] = true
+	defer delete(mp.visiting, fi.obj)
+
+	params := paramObjs(fi)
+	mask := make([]bool, len(params))
+	if fi.decl.Body != nil {
+		flow := newFnFlow(fi.pkg, fi.decl)
+		mark := func(v *types.Var) {
+			for i, p := range params {
+				if flow.sameClass(v, p) {
+					mask[i] = true
+				}
+			}
+		}
+		for _, w := range writesIn(fi.pkg, fi.decl.Body) {
+			if w.rebind {
+				continue // rebinding a parameter variable is local
+			}
+			if v, ok := baseVar(fi.pkg, w.base); ok {
+				mark(v)
+			}
+		}
+		// Transitive: the parameter escapes into a module call that
+		// mutates it.
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callees, _ := mp.g.resolve(fi.pkg, flow.bindings, call)
+			for _, c := range callees {
+				if c.viaInterface != "" {
+					continue
+				}
+				sub := mp.mutated(c.fn)
+				if sub == nil {
+					continue
+				}
+				for argIdx, argVar := range callArgVars(fi.pkg, call) {
+					if argVar == nil || argIdx >= len(sub) || !sub[argIdx] {
+						continue
+					}
+					for i, p := range params {
+						if flow.sameClass(argVar, p) {
+							mask[i] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	mp.memo[fi.obj] = mask
+	return mask
+}
+
+// callArgVars maps a call's receiver and arguments onto the variables
+// they pass, aligned with paramObjs' layout (receiver first for method
+// calls). Non-variable arguments yield nil entries.
+func callArgVars(pkg *Package, call *ast.CallExpr) []*types.Var {
+	var out []*types.Var
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			out = append(out, argVar(pkg, sel.X))
+		}
+	}
+	for _, a := range call.Args {
+		out = append(out, argVar(pkg, a))
+	}
+	return out
+}
+
+// argVar resolves an argument to the variable it passes (unwrapping an
+// address-of), nil when it is not a plain variable.
+func argVar(pkg *Package, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return argVar(pkg, x.X)
+		}
+	}
+	return nil
+}

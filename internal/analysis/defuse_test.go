@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+	"testing"
+)
+
+// findFunc locates a declared function (or method) by bare name in the
+// loaded test module.
+func findFunc(t *testing.T, g *graph, name string) *funcInfo {
+	t.Helper()
+	for obj, f := range g.funcs {
+		if obj.Name() == name && f.decl.Body != nil {
+			return f
+		}
+	}
+	t.Fatalf("function %s not found in test module", name)
+	return nil
+}
+
+// publishSitesIn classifies every atomic.Pointer method call in the
+// named function as "Method" or "Method:publishedExpr".
+func publishSitesIn(t *testing.T, g *graph, fnName string) []string {
+	t.Helper()
+	fi := findFunc(t, g, fnName)
+	flow := newFnFlow(fi.pkg, fi.decl)
+	var out []string
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := atomicPtrCall(fi.pkg, flow.bindings, call)
+		if !ok {
+			return true
+		}
+		s := method
+		if pub := publishedArg(method, call); pub != nil {
+			s += ":" + describeExpr(pub)
+		}
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+// TestAtomicPublishSiteResolution pins the publish-site resolver on
+// every calling shape the publication analyzers must see through:
+// direct selector calls on an atomic.Pointer[T] var, calls promoted
+// through an embedded Pointer field (one and two levels deep), locally
+// bound method values, and a same-name method on a non-atomic type
+// that must NOT match.
+func TestAtomicPublishSiteResolution(t *testing.T) {
+	const src = `package pubsite
+
+import "sync/atomic"
+
+type cfg struct{ n int }
+
+var p atomic.Pointer[cfg]
+
+type box struct {
+	atomic.Pointer[cfg]
+}
+
+var b box
+
+type nest struct{ inner box }
+
+var nn nest
+
+func Direct() {
+	c := &cfg{}
+	p.Store(c)
+	_ = p.Load()
+	old := p.Swap(c)
+	p.CompareAndSwap(old, c)
+}
+
+func Embedded() {
+	c := &cfg{}
+	b.Store(c)
+	_ = b.Load()
+	nn.inner.Store(c)
+}
+
+func MethodValue() {
+	st := p.Store
+	ld := p.Load
+	c := &cfg{}
+	st(c)
+	_ = ld()
+}
+
+type myPointer struct{ v *cfg }
+
+func (m *myPointer) Store(c *cfg) { m.v = c }
+
+func NotAtomic() {
+	var q myPointer
+	q.Store(&cfg{})
+}
+`
+	prog := loadTestModule(t, "pubsite", map[string]string{"pubsite.go": src})
+	g := buildGraph(prog)
+
+	cases := map[string][]string{
+		"Direct":      {"Store:c", "Load", "Swap:c", "CompareAndSwap:c"},
+		"Embedded":    {"Store:c", "Load", "Store:c"},
+		"MethodValue": {"Store:c", "Load"},
+		"NotAtomic":   nil,
+	}
+	for fn, want := range cases {
+		if got := publishSitesIn(t, g, fn); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: publish sites = %v, want %v", fn, got, want)
+		}
+	}
+}
+
+// TestMutParams pins the module-wide mutates-its-argument summaries the
+// pubinit analyzer keys on: direct field writes, writes through a local
+// alias, transitive mutation through a module callee, receiver
+// mutation (index 0), builtin delete, parameter rebinding (local, not a
+// mutation), and interface dispatch (deliberately not followed).
+func TestMutParams(t *testing.T) {
+	const src = `package mut
+
+type T struct {
+	n int
+	m map[string]int
+}
+
+func setN(t *T) { t.n = 1 }
+
+func readN(t *T) int { return t.n }
+
+func viaAlias(t *T) {
+	u := t
+	u.n = 2
+}
+
+func forward(t *T) { setN(t) }
+
+func rebind(t *T) {
+	t = &T{}
+	_ = t
+}
+
+func (t *T) Bump() { t.n++ }
+
+func delEntry(m map[string]int) { delete(m, "k") }
+
+type mutator interface{ Mut(*T) }
+
+func dyn(m mutator, t *T) { m.Mut(t) }
+
+type impl struct{}
+
+func (impl) Mut(t *T) { t.n = 3 }
+`
+	prog := loadTestModule(t, "mut", map[string]string{"mut.go": src})
+	g := buildGraph(prog)
+	mp := newMutParams(g)
+
+	cases := map[string][]bool{
+		"setN":     {true},
+		"readN":    {false},
+		"viaAlias": {true},
+		"forward":  {true},
+		"rebind":   {false},
+		"Bump":     {true}, // receiver is index 0
+		"delEntry": {true},
+		"dyn":      {false, false}, // interface dispatch is not followed
+		"Mut":      {false, true},  // impl receiver, then *T
+	}
+	for fn, want := range cases {
+		fi := findFunc(t, g, fn)
+		if got := mp.mutated(fi); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: mutated mask = %v, want %v", fn, got, want)
+		}
+	}
+}
+
+// TestLoadDerivation pins the read-only taint rules: derivation follows
+// assignments, field selections, and indexing out of a Load, and
+// deliberately stops at non-atomic calls so the clone-and-republish
+// idiom stays mutable.
+func TestLoadDerivation(t *testing.T) {
+	const src = `package taint
+
+import "sync/atomic"
+
+type cfg struct {
+	tags map[string]int
+	sub  *cfg
+}
+
+var p atomic.Pointer[cfg]
+
+func clone(c *cfg) *cfg { out := *c; return &out }
+
+func Flow() {
+	direct := p.Load()
+	viaField := direct.sub
+	viaIndexBase := direct.tags
+	fresh := clone(direct)
+	swapped := p.Swap(fresh)
+	_, _, _, _, _ = direct, viaField, viaIndexBase, fresh, swapped
+}
+`
+	prog := loadTestModule(t, "taint", map[string]string{"taint.go": src})
+	g := buildGraph(prog)
+	fi := findFunc(t, g, "Flow")
+	flow := newFnFlow(fi.pkg, fi.decl)
+
+	want := map[string]bool{
+		"direct":       true,
+		"viaField":     true,
+		"viaIndexBase": true,
+		"fresh":        false, // derivation stops at the clone call
+		"swapped":      true,  // Swap's old value is published state
+	}
+	got := map[string]bool{}
+	for v := range flow.load {
+		got[v.Name()] = true
+	}
+	for name, wantTainted := range want {
+		if got[name] != wantTainted {
+			t.Errorf("load-derived[%s] = %v, want %v", name, got[name], wantTainted)
+		}
+	}
+}

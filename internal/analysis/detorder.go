@@ -25,9 +25,10 @@ import (
 // or compared later). A deliberate order-insensitive use is waived with
 // //apollo:detorderok <reason> on the sink line or the range line.
 var DetOrder = &Analyzer{
-	Name: "detorder",
-	Doc:  "map iteration must not feed serialization, hashing, or encoding",
-	Run:  runDetOrder,
+	Name:       "detorder",
+	Doc:        "map iteration must not feed serialization, hashing, or encoding",
+	Run:        runDetOrder,
+	runTracked: runDetOrderTracked,
 }
 
 func runDetOrder(prog *Program) []Diagnostic {

@@ -31,9 +31,10 @@ import (
 // //apollo:goleakok <reason> on the construct's line or the go
 // statement's line.
 var GoLeak = &Analyzer{
-	Name: "goleak",
-	Doc:  "spawned goroutines must have a guaranteed exit and unblockable channel use",
-	Run:  runGoLeak,
+	Name:       "goleak",
+	Doc:        "spawned goroutines must have a guaranteed exit and unblockable channel use",
+	Run:        runGoLeak,
+	runTracked: runGoLeakTracked,
 }
 
 func runGoLeak(prog *Program) []Diagnostic {

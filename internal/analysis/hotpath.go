@@ -17,9 +17,10 @@ import (
 // annotated //apollo:coldpath (rare, amortized paths), and a single
 // finding can be waived with a line-level //apollo:allocok reason.
 var HotPath = &Analyzer{
-	Name: "hotpath",
-	Doc:  "hot-path functions must be allocation-free and lock-free",
-	Run:  runHotPath,
+	Name:       "hotpath",
+	Doc:        "hot-path functions must be allocation-free and lock-free",
+	Run:        runHotPath,
+	runTracked: runHotPathTracked,
 }
 
 func runHotPath(prog *Program) []Diagnostic {

@@ -18,9 +18,10 @@ import (
 // deliberate design choice (e.g. persisting under a publish mutex) is
 // waived with //apollo:lockok <reason> on the function or statement.
 var LockScope = &Analyzer{
-	Name: "lockscope",
-	Doc:  "no blocking work while a mutex is held",
-	Run:  runLockScope,
+	Name:       "lockscope",
+	Doc:        "no blocking work while a mutex is held",
+	Run:        runLockScope,
+	runTracked: runLockScopeTracked,
 }
 
 func runLockScope(prog *Program) []Diagnostic {
@@ -122,7 +123,7 @@ func (s *lockScanner) scanStmts(fi *funcInfo, stmts []ast.Stmt, held map[string]
 					// Re-scan under a marking sink: the waiver is live
 					// only if it still suppresses something.
 					prev := s.sink
-					s.sink = func(Diagnostic) { s.uses.mark(d.pos) }
+					s.sink = func(Diagnostic) { s.uses.mark(d.pos) } //apollo:sharedcapok synchronous save/restore on one goroutine: checkHeld runs and returns before the sink is put back
 					s.checkHeld(fi, stmt, held, lines, bindings)
 					s.sink = prev
 				}

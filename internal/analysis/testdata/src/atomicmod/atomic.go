@@ -33,8 +33,8 @@ type evenElem struct {
 }
 
 func Bump(m *misaligned, a *aligned) {
-	atomic.AddUint64(&m.n, 1)  // want `offset 4 under GOARCH=386 layout`
-	atomic.AddUint64(&a.n, 1)  // aligned: no finding
+	atomic.AddUint64(&m.n, 1)   // want `offset 4 under GOARCH=386 layout`
+	atomic.AddUint64(&a.n, 1)   // aligned: no finding
 	_ = atomic.LoadUint64(&m.n) // want `offset 4 under GOARCH=386 layout`
 }
 

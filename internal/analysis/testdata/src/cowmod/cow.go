@@ -1,0 +1,167 @@
+// Package cowmod is the cowsafe-analyzer corpus: values published
+// through an atomic.Pointer are frozen at the publish, and values
+// obtained from Load (or Swap's old value) are read-only.
+package cowmod
+
+import "sync/atomic"
+
+type Config struct {
+	N     int
+	Tags  map[string]int
+	Peers []string
+}
+
+var cur atomic.Pointer[Config]
+
+// Good: build fresh, publish, never touch again.
+func Publish(n int) {
+	c := &Config{N: n, Tags: map[string]int{}}
+	cur.Store(c)
+}
+
+// Bad: a direct field write after the publish.
+func StoreThenWrite() {
+	c := &Config{N: 1}
+	cur.Store(c)
+	c.N = 2 // want `write to c after it was published by atomic\.Pointer\.Store`
+}
+
+// Bad: the write goes through an alias of the published pointer.
+func AliasWrite() {
+	c := &Config{}
+	d := c
+	cur.Store(c)
+	d.N = 3 // want `write to c after it was published by atomic\.Pointer\.Store`
+}
+
+// Bad: publishing &cfg freezes the local itself — element writes and
+// rebinding both mutate what readers see.
+func AddressPublish() {
+	var cfg Config
+	cfg.N = 1
+	cur.Store(&cfg)
+	cfg.N = 2      // want `write to &cfg after it was published by atomic\.Pointer\.Store`
+	cfg = Config{} // want `write to &cfg after it was published by atomic\.Pointer\.Store`
+}
+
+// Bad: map entries, slice elements, and deletes all count as writes.
+func ElementWrites() {
+	c := &Config{Tags: map[string]int{}, Peers: make([]string, 4)}
+	cur.Store(c)
+	c.Tags["x"] = 1     // want `write to c after it was published by atomic\.Pointer\.Store`
+	c.Peers[0] = "y"    // want `write to c after it was published by atomic\.Pointer\.Store`
+	delete(c.Tags, "x") // want `write to c after it was published by atomic\.Pointer\.Store`
+}
+
+// Bad: Swap publishes its argument exactly like Store.
+func SwapThenWrite(next *Config) {
+	cur.Swap(next)
+	next.N = 4 // want `write to next after it was published by atomic\.Pointer\.Swap`
+}
+
+// Bad: the new value handed to CompareAndSwap is frozen once the CAS
+// statement executes.
+func CASWrite(next *Config) {
+	if !cur.CompareAndSwap(cur.Load(), next) {
+		return
+	}
+	next.N = 9 // want `write to next after it was published by atomic\.Pointer\.CompareAndSwap`
+}
+
+// Bad: a publish inside a loop freezes the value for the rest of the
+// iteration (and the next one).
+func Recycle() {
+	next := &Config{}
+	for i := 0; i < 3; i++ {
+		cur.Store(next)
+		next.N = i // want `write to next after it was published by atomic\.Pointer\.Store`
+	}
+}
+
+// Good: the clone-and-republish idiom — derivation stops at the copier
+// call, so the fresh clone is legitimately mutable before its own
+// publish.
+func Bump() {
+	old := cur.Load()
+	next := clone(old)
+	next.N++
+	cur.Store(next)
+}
+
+func clone(c *Config) *Config {
+	out := *c
+	out.Tags = make(map[string]int, len(c.Tags))
+	for k, v := range c.Tags {
+		out.Tags[k] = v
+	}
+	return &out
+}
+
+// Good: rebinding the local abandons the published value, it does not
+// mutate it.
+func Rebind() {
+	c := &Config{}
+	cur.Store(c)
+	c = &Config{N: 1}
+	cur.Store(c)
+}
+
+// Bad: Load results are read-only.
+func LoadWrite() {
+	c := cur.Load()
+	c.N = 7 // want `write through a value obtained from atomic\.Pointer\.Load`
+}
+
+// Bad: writing straight through the Load call.
+func LoadDirect() {
+	cur.Load().Tags["k"] = 1 // want `write through a value obtained from atomic\.Pointer\.Load`
+}
+
+// Bad: derivation follows field and element chains out of the Load.
+func LoadField() {
+	tags := cur.Load().Tags
+	tags["hot"] = 1 // want `write through a value obtained from atomic\.Pointer\.Load`
+}
+
+// Bad: the old value returned by Swap is still visible to readers that
+// loaded it earlier.
+func SwapOld(next *Config) {
+	old := cur.Swap(next)
+	old.N = 0 // want `write through a value obtained from atomic\.Pointer\.Load`
+}
+
+type holder struct {
+	atomic.Pointer[Config]
+}
+
+var h holder
+
+// Bad: the publish goes through an embedded atomic.Pointer field.
+func EmbeddedStore() {
+	c := &Config{}
+	h.Store(c)
+	c.N = 1 // want `write to c after it was published by atomic\.Pointer\.Store`
+}
+
+// Bad: the publish goes through a bound method value.
+func MethodValueStore() {
+	st := cur.Store
+	c := &Config{}
+	st(c)
+	c.N = 2 // want `write to c after it was published by atomic\.Pointer\.Store`
+}
+
+// Waived line: a deliberate in-place counter with its own protocol.
+func WaivedWrite() {
+	c := cur.Load()
+	c.N = 1 //apollo:cowok slot is claimed by CAS elsewhere; not a COW value
+}
+
+// Waived function: the doc-comment waiver covers every finding inside.
+//
+//apollo:cowok ring arena with its own claim protocol
+func WaivedFunc() {
+	c := &Config{}
+	cur.Store(c)
+	c.N = 5
+}

@@ -1,0 +1,3 @@
+module cowmod
+
+go 1.22

@@ -18,12 +18,12 @@ func DirectViolations(ch chan int) {
 	_ = time.Now()       // want `calls time\.Now on the hot path`
 	b := make([]byte, 8) // want `make allocates on the hot path`
 	_ = b
-	mu.Lock()             // want `acquires sync\.Mutex \(Lock\) on the hot path`
-	mu.Unlock()           // want `acquires sync\.Mutex \(Unlock\) on the hot path`
-	fmt.Println()         // want `calls fmt\.Println on the hot path`
-	ch <- 1               // want `channel send on the hot path`
-	<-ch                  // want `channel receive on the hot path`
-	s := []int{1, 2}      // want `slice literal allocates on the hot path`
+	mu.Lock()        // want `acquires sync\.Mutex \(Lock\) on the hot path`
+	mu.Unlock()      // want `acquires sync\.Mutex \(Unlock\) on the hot path`
+	fmt.Println()    // want `calls fmt\.Println on the hot path`
+	ch <- 1          // want `channel send on the hot path`
+	<-ch             // want `channel receive on the hot path`
+	s := []int{1, 2} // want `slice literal allocates on the hot path`
 	_ = s
 	p := &point{x: 1} // want `&hotpathmod\.point literal allocates on the hot path`
 	_ = p

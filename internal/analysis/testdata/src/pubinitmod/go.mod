@@ -1,0 +1,3 @@
+module pubinitmod
+
+go 1.22

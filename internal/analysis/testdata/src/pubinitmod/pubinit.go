@@ -1,0 +1,86 @@
+// Package pubinitmod is the pubinit-analyzer corpus: every write that
+// initializes a published value must precede the atomic.Pointer publish,
+// including writes hidden behind calls the call graph proves mutate
+// their argument.
+package pubinitmod
+
+import "sync/atomic"
+
+type Model struct {
+	Name    string
+	Weights []float64
+}
+
+var live atomic.Pointer[Model]
+
+// Bad: the helper provably writes through its parameter after the
+// publish.
+func PublishThenFill() {
+	m := &Model{}
+	live.Store(m)
+	fill(m) // want `pubinitmod\.fill initializes m after it was published by atomic\.Pointer\.Store`
+}
+
+func fill(m *Model) {
+	m.Weights = append(m.Weights, 1)
+}
+
+// Good: initialization precedes the publish.
+func FillThenPublish() {
+	m := &Model{}
+	fill(m)
+	live.Store(m)
+}
+
+// Bad: a mutating method counts — the receiver is parameter zero.
+func PublishThenRename() {
+	m := &Model{}
+	live.Store(m)
+	m.SetName("late") // want `\(\*pubinitmod\.Model\)\.SetName initializes m after it was published by atomic\.Pointer\.Store`
+}
+
+func (m *Model) SetName(s string) { m.Name = s }
+
+// Bad: the mutation is transitive — touch only forwards to deepFill,
+// which does the writing.
+func PublishThenTouch() {
+	m := &Model{}
+	live.Store(m)
+	touch(m) // want `pubinitmod\.touch initializes m after it was published by atomic\.Pointer\.Store`
+}
+
+func touch(m *Model) { deepFill(m) }
+
+func deepFill(m *Model) { m.Weights = []float64{1} }
+
+// Good: a read-only helper after the publish is fine.
+func PublishThenRead() float64 {
+	m := &Model{Weights: []float64{1}}
+	live.Store(m)
+	return sum(m)
+}
+
+func sum(m *Model) float64 {
+	var t float64
+	for _, w := range m.Weights {
+		t += w
+	}
+	return t
+}
+
+// Bad: Swap publishes too, and the alias taken before the publish
+// reaches the same value.
+func SwapThenFill() {
+	m := &Model{}
+	alias := m
+	live.Swap(m)
+	fill(alias) // want `pubinitmod\.fill initializes m after it was published by atomic\.Pointer\.Swap`
+}
+
+// Waived: a deliberate post-publish touch-up with its own ordering
+// story.
+func WaivedLateFill() {
+	m := &Model{}
+	live.Store(m)
+	fill(m) //apollo:cowok readers tolerate empty weights until the warmup gate opens
+}

@@ -1,0 +1,3 @@
+module sharedcapmod
+
+go 1.22

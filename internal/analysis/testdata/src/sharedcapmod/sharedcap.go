@@ -1,0 +1,107 @@
+// Package sharedcapmod is the sharedcap-analyzer corpus: goroutine
+// closures and stored callbacks must not capture locals the spawner
+// keeps writing after the spawn.
+package sharedcapmod
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Bad: the goroutine reads n while the spawner keeps writing it.
+func CountRace() {
+	n := 0
+	done := make(chan struct{})
+	go func() { // want `go statement captures "n", which the spawner writes afterwards`
+		_ = n
+		close(done)
+	}()
+	n = 1
+	<-done
+}
+
+// Good: passing the value as an argument snapshots it at the spawn.
+func CountArg() {
+	n := 0
+	done := make(chan struct{})
+	go func(v int) {
+		_ = v
+		close(done)
+	}(n)
+	n = 1
+	<-done
+}
+
+// Good: every write precedes the spawn.
+func WriteThenSpawn() {
+	n := 41
+	n++
+	go func() { _ = n }()
+}
+
+type server struct {
+	mu     sync.Mutex //apollo:lockrank 90
+	onDrop func()
+}
+
+// Bad: the callback outlives the function through the field, and the
+// spawner keeps writing the captured counter.
+func (s *server) Install() {
+	drops := 0
+	s.onDrop = func() { drops++ } // want `stored callback captures "drops", which the spawner writes afterwards`
+	drops = 0
+}
+
+var hook func()
+
+// Bad: a callback stored in a package variable escapes the same way.
+func SetHook() {
+	msg := "a"
+	hook = func() { _ = msg } // want `stored callback captures "msg", which the spawner writes afterwards`
+	msg = "b"
+}
+
+// Good: a closure held in a plain local runs sequentially; calling it
+// is ordinary control flow.
+func LocalClosure() int {
+	n := 0
+	inc := func() { n++ }
+	n = 1
+	inc()
+	return n
+}
+
+// Good: atomic counters are self-synchronized — method-mediated use is
+// not a racy capture.
+func AtomicCounter() {
+	var hits atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		hits.Add(1)
+		close(done)
+	}()
+	hits.Add(1)
+	<-done
+}
+
+// Good: the goroutine writes, the spawner only reads after Wait — no
+// spawner write after the spawn, nothing to flag.
+func Waited() int {
+	var wg sync.WaitGroup
+	out := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out = 7
+	}()
+	wg.Wait()
+	return out
+}
+
+// Waived: the flush loop deliberately shares buf under its own
+// generation protocol.
+func FlushShared() {
+	buf := []byte("x")
+	go func() { _ = buf }() //apollo:sharedcapok generation counter fences the reuse
+	buf = nil
+}

@@ -11,12 +11,13 @@ import (
 // WaiverDrift keeps the annotation contract honest: a waiver that no
 // longer suppresses anything is a lie waiting to hide a future
 // regression. It re-runs the suppressing analyzers (hotpath, lockscope,
-// goleak, detorder) in tracking mode, then reports:
+// goleak, detorder, cowsafe, pubinit, sharedcap) in tracking mode, then
+// reports:
 //
 //   - every //apollo:allocok, //apollo:lockok, //apollo:coldpath,
-//     //apollo:goleakok, or //apollo:detorderok directive that did not
-//     suppress a single diagnostic (for coldpath: that no hot-path
-//     traversal stopped at);
+//     //apollo:goleakok, //apollo:detorderok, //apollo:cowok, or
+//     //apollo:sharedcapok directive that did not suppress a single
+//     diagnostic (for coldpath: that no hot-path traversal stopped at);
 //   - every //apollo:blocking function whose body provably cannot block
 //     (no channel operation, mutex acquisition, blocking external call,
 //     or transitively blocking module callee), so stale blocking
@@ -33,13 +34,18 @@ func runWaiverDrift(prog *Program) []Diagnostic {
 	_ = runLockScopeTracked(prog, uses)
 	_ = runGoLeakTracked(prog, uses)
 	_ = runDetOrderTracked(prog, uses)
+	_ = runCowSafeTracked(prog, uses)
+	_ = runPubInitTracked(prog, uses)
+	_ = runSharedCapTracked(prog, uses)
 
 	waiverDirs := map[string]bool{
-		dirAllocOK:    true,
-		dirLockOK:     true,
-		dirColdPath:   true,
-		dirGoLeakOK:   true,
-		dirDetOrderOK: true,
+		dirAllocOK:     true,
+		dirLockOK:      true,
+		dirColdPath:    true,
+		dirGoLeakOK:    true,
+		dirDetOrderOK:  true,
+		dirCowOK:       true,
+		dirSharedCapOK: true,
 	}
 	var diags []Diagnostic
 	for _, pkg := range prog.Packages {

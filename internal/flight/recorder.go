@@ -204,6 +204,7 @@ type Token struct {
 // the fill, still call Commit).
 //
 //apollo:hotpath
+//apollo:cowok the ring behind buf is a mutable arena, not a COW value: slots are claimed by CAS before any write and released by Commit, and drains quiesce on the active pin count before reading
 func (r *Recorder) Reserve(siteID uint64) (*Record, Token) {
 	sh := &r.shards[mix(siteID)&r.shardMask]
 	var rb *ring
@@ -415,7 +416,7 @@ func (r *Recorder) drainLocked() {
 			s := &old.slots[j]
 			if s.rec.Seq != 0 {
 				r.retained = append(r.retained, s.rec)
-				s.rec.Seq = 0
+				s.rec.Seq = 0 //apollo:cowok old ring was unpublished by the swap above and quiesced on active==0; clearing Seq recycles it as the next spare
 			}
 		}
 		old.pos.Store(0)
