@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build lint test race stress bench results quick-results cover clean serve-smoke loop-smoke flight-smoke fleet-smoke compile-smoke vet-bench
+.PHONY: all build lint test race stress bench results quick-results cover clean serve-smoke loop-smoke flight-smoke fleet-smoke compile-smoke vet-bench vet-diff
 
-all: build lint test race flight-smoke fleet-smoke compile-smoke
+all: build lint vet-diff test race flight-smoke fleet-smoke compile-smoke
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,18 @@ build:
 # apollo-vet enforces the project invariants — hot-path no-alloc /
 # lock-free, 386 atomic alignment, schema-hash drift, lock-rank order,
 # goroutine-leak freedom, deterministic serialization, copy-on-write
-# publication discipline, and live waivers — over the whole module; the
-# 386 cross-build keeps the alignment analyzer honest against the real
-# compiler.
+# publication discipline, failure-path hygiene (error sinks, cancellable
+# blocking, spawn/stop pairing, HTTP deadlines), and live waivers — over
+# the whole module; the 386 cross-build keeps the alignment analyzer
+# honest against the real compiler.
 lint:
 	$(GO) run ./cmd/apollo-vet ./...
 	GOARCH=386 $(GO) build ./...
+
+# The CI ratchet: fail on any diagnostic not in the committed baseline,
+# so the module's finding count can only go down.
+vet-diff:
+	GO=$(GO) bash scripts/vet_diff.sh
 
 # Self-run benchmark: the full analyzer suite over this module, with the
 # machine-readable summary (per-analyzer counts, live waivers, wall

@@ -186,7 +186,7 @@ func run(replicaSpec, model, appName, problem string, size, clients, steps, rank
 		mux := http.NewServeMux()
 		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			met.WritePrometheus(w)
+			met.WritePrometheus(w) //apollo:errok metrics endpoint: a client gone mid-scrape has no receiver for the error
 		})
 		fmt.Printf("apollo-fleet: metrics on http://%s/metrics\n", ln.Addr())
 		go http.Serve(ln, mux)
@@ -222,7 +222,7 @@ func run(replicaSpec, model, appName, problem string, size, clients, steps, rank
 		}(i)
 	}
 	for i := 0; i < clients; i++ {
-		select {
+		select { //apollo:ctxok bounded collection: every spawned client sends exactly one result or error
 		case err := <-errs:
 			return totals, err
 		case t := <-results:
@@ -354,7 +354,7 @@ func runClient(idx int, peers []fleet.Peer, model string, desc app.Descriptor, p
 		if duration > 0 && step >= steps {
 			// Past the minimum step count we only keep the loop alive for
 			// -duration; pace to the service cadence instead of spinning.
-			time.Sleep(flush / 4)
+			time.Sleep(flush / 4) //apollo:ctxok finite load loop paced to the flush cadence; exits via -duration
 		}
 	}
 	post()

@@ -130,8 +130,8 @@ func probeReplica(p fleet.Peer, hc *http.Client) replicaModels {
 		v.err = err
 		return v
 	}
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-	resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //apollo:errok best-effort drain so the probe connection can be reused
+	resp.Body.Close()                                     //apollo:errok probe body already read and drained; Close failure changes nothing
 	if resp.StatusCode != http.StatusOK {
 		v.err = fmt.Errorf("healthz: %s", resp.Status)
 		return v

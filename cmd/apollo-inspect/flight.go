@@ -10,6 +10,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"apollo/internal/ctree"
 	"apollo/internal/dtree"
@@ -97,10 +98,11 @@ func runFlightCmd(args []string) error {
 	in := fs.String("in", "", "flight capture JSON file (apollo-flight-v1)")
 	url := fs.String("url", "", "fetch the capture from a live /debug/apollo/flight endpoint")
 	top := fs.Int("top", 20, "rows to print per table")
+	timeout := fs.Duration("timeout", 3*time.Second, "HTTP timeout for -url fetches")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	data, err := readInput(*in, *url)
+	data, err := readInput(*in, *url, *timeout)
 	if err != nil {
 		return err
 	}
@@ -166,14 +168,15 @@ func decodeOffsetPaths(c *flightCapture) {
 }
 
 // readInput loads the capture from a file or a live endpoint.
-func readInput(in, url string) ([]byte, error) {
+func readInput(in, url string, timeout time.Duration) ([]byte, error) {
 	switch {
 	case in != "" && url != "":
 		return nil, fmt.Errorf("set only one of -in and -url")
 	case in != "":
 		return os.ReadFile(in)
 	case url != "":
-		resp, err := http.Get(url)
+		hc := &http.Client{Timeout: timeout}
+		resp, err := hc.Get(url)
 		if err != nil {
 			return nil, err
 		}
@@ -346,10 +349,11 @@ func runTraceCmd(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	in := fs.String("in", "", "Chrome trace-event JSON file")
 	url := fs.String("url", "", "fetch the trace from a live /debug/apollo/trace endpoint")
+	timeout := fs.Duration("timeout", 3*time.Second, "HTTP timeout for -url fetches")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	data, err := readInput(*in, *url)
+	data, err := readInput(*in, *url, *timeout)
 	if err != nil {
 		return err
 	}

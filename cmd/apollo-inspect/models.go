@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"time"
 
 	"apollo/internal/core"
 	"apollo/internal/ctree"
@@ -40,6 +41,7 @@ func runModelsCmd(args []string) error {
 	model := fs.String("model", "", "single model or envelope JSON file")
 	verify := fs.Bool("verify", false, "differentially verify compiled against interpreted predictions")
 	vectors := fs.Int("vectors", 256, "random probe vectors per model for -verify (boundary probes are always added)")
+	timeout := fs.Duration("timeout", 3*time.Second, "HTTP timeout for -url fetches")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,13 +55,14 @@ func runModelsCmd(args []string) error {
 		return fmt.Errorf("set exactly one of -dir, -url, -model")
 	}
 
+	hc := &http.Client{Timeout: *timeout}
 	var models []inspectedModel
 	var err error
 	switch {
 	case *dir != "":
 		models, err = modelsFromDir(*dir)
 	case *url != "":
-		models, err = modelsFromURL(*url)
+		models, err = modelsFromURL(hc, *url)
 	default:
 		models, err = modelsFromFile(*model)
 	}
@@ -96,7 +99,7 @@ func runModelsCmd(args []string) error {
 		}
 		checked := len(probes)
 		if *url != "" {
-			n, err := verifyLive(*url, im.Name, im.Model, probes)
+			n, err := verifyLive(hc, *url, im.Name, im.Model, probes)
 			if err != nil {
 				return fmt.Errorf("model %s: %w", im.Name, err)
 			}
@@ -121,8 +124,8 @@ func modelsFromDir(dir string) ([]inspectedModel, error) {
 	return out, nil
 }
 
-func modelsFromURL(base string) ([]inspectedModel, error) {
-	data, err := httpGet(base + "/models")
+func modelsFromURL(hc *http.Client, base string) ([]inspectedModel, error) {
+	data, err := httpGet(hc, base+"/models")
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +139,7 @@ func modelsFromURL(base string) ([]inspectedModel, error) {
 	}
 	var out []inspectedModel
 	for _, mi := range list.Models {
-		data, err := httpGet(base + "/models/" + mi.Name)
+		data, err := httpGet(hc, base+"/models/"+mi.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -165,8 +168,8 @@ func modelsFromFile(path string) ([]inspectedModel, error) {
 	return []inspectedModel{{Name: name, Version: env.Version, Model: env.Model}}, nil
 }
 
-func httpGet(url string) ([]byte, error) {
-	resp, err := http.Get(url)
+func httpGet(hc *http.Client, url string) ([]byte, error) {
+	resp, err := hc.Get(url)
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +257,7 @@ func verifyCompiled(m *core.Model, ct *ctree.Tree, probes [][]float64) error {
 // one batch request plus a handful of single-vector requests, and
 // compares with the local interpreted answers. It returns how many
 // vectors it checked.
-func verifyLive(base, name string, m *core.Model, probes [][]float64) (int, error) {
+func verifyLive(hc *http.Client, base, name string, m *core.Model, probes [][]float64) (int, error) {
 	want := m.Schema.Len()
 	var finite [][]float64
 	for _, x := range probes {
@@ -280,12 +283,15 @@ func verifyLive(base, name string, m *core.Model, probes [][]float64) (int, erro
 		if err != nil {
 			return nil, err
 		}
-		resp, err := http.Post(base+"/predict", "application/json", bytes.NewReader(body))
+		resp, err := hc.Post(base+"/predict", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
 		defer resp.Body.Close()
-		data, _ := io.ReadAll(resp.Body)
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("POST /predict: reading response: %w", err)
+		}
 		if resp.StatusCode != http.StatusOK {
 			return nil, fmt.Errorf("POST /predict: %s: %s", resp.Status, data)
 		}

@@ -219,7 +219,7 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 			rc.Collect() // refresh goroutine/heap/GC-pause self-metrics
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			met.WritePrometheus(w)
+			met.WritePrometheus(w) //apollo:errok metrics endpoint: a client gone mid-scrape has no receiver for the error
 		})
 		fmt.Printf("apollo-traind: metrics on http://%s/metrics\n", ln.Addr())
 		go http.Serve(ln, mux)

@@ -134,8 +134,12 @@ func run(serverURL, model, appName, problem string, size, steps, maxSteps, waitS
 		sim.Step()
 		if waitSwaps > 0 && ran >= steps {
 			// The app's work is done; we are only waiting on the loop,
-			// so pace the extra steps to the service cadence.
-			time.Sleep(poll / 4)
+			// so pace the extra steps to the service cadence. The uploader
+			// context doubles as the cancel signal for the wait.
+			select {
+			case <-upCtx.Done():
+			case <-time.After(poll / 4):
+			}
 		}
 	}
 

@@ -10,8 +10,13 @@
 // atomic.Pointer are frozen and Load results are read-only), pubinit
 // (initialization must precede the publish, including through calls
 // that mutate their argument), sharedcap (goroutine closures must not
-// capture locals the spawner keeps writing), and waiverdrift (waiver
-// and blocking annotations must still be live).
+// capture locals the spawner keeps writing), errsink (every error value
+// must reach a sink — return, cold-path log, or metric), ctxflow
+// (blocking operations reachable from serve roots must be cancellable),
+// lifecycle (component goroutines must pair with a stop signal their
+// Close/Stop provably fires and joins), netguard (outbound HTTP must
+// carry deadlines and retry through jittered backoff), and waiverdrift
+// (waiver and blocking annotations must still be live).
 //
 // Usage:
 //
@@ -23,8 +28,8 @@
 // violating call chain — or, with -json, as one JSON object per line
 // (file, line, col, analyzer, message, chain) for CI annotation
 // renderers, followed by one final machine-readable summary record
-// ({"summary":true, ...}) carrying per-analyzer diagnostic counts, the
-// number of live waivers, and the wall time of the run. -summary-out
+// ({"summary":true, ...}) carrying per-analyzer diagnostic counts and
+// wall times, the number of live waivers, and the wall time of the run. -summary-out
 // writes that same record to a file on any run that completes analysis,
 // so CI can archive it as an artifact without scraping stdout. A final
 // "N diagnostics from M analyzers" line goes to stderr on every path,
@@ -58,9 +63,12 @@ type jsonSummary struct {
 	Summary     bool           `json:"summary"`
 	Diagnostics int            `json:"diagnostics"`
 	PerAnalyzer map[string]int `json:"analyzers"`
-	WaiversUsed int            `json:"waivers_used"`
-	Packages    int            `json:"packages"`
-	WallMS      float64        `json:"wall_ms"`
+	// PerAnalyzerMS is each analyzer's own wall time; analyzers run
+	// concurrently, so the entries overlap and do not sum to wall_ms.
+	PerAnalyzerMS map[string]float64 `json:"analyzer_wall_ms"`
+	WaiversUsed   int                `json:"waivers_used"`
+	Packages      int                `json:"packages"`
+	WallMS        float64            `json:"wall_ms"`
 }
 
 func main() {
@@ -133,12 +141,13 @@ func main() {
 		fmt.Println(d.String())
 	}
 	rec := jsonSummary{
-		Summary:     true,
-		Diagnostics: len(diags),
-		PerAnalyzer: stats.PerAnalyzer,
-		WaiversUsed: stats.WaiversUsed,
-		Packages:    len(prog.Packages),
-		WallMS:      float64(wall.Microseconds()) / 1000,
+		Summary:       true,
+		Diagnostics:   len(diags),
+		PerAnalyzer:   stats.PerAnalyzer,
+		PerAnalyzerMS: stats.PerAnalyzerMS,
+		WaiversUsed:   stats.WaiversUsed,
+		Packages:      len(prog.Packages),
+		WallMS:        float64(wall.Microseconds()) / 1000,
 	}
 	if *jsonOut {
 		if err := enc.Encode(rec); err != nil {

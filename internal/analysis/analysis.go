@@ -42,6 +42,23 @@
 //   - sharedcap: goroutine closures and stored callbacks must not
 //     capture locals the spawner keeps writing after the spawn
 //     (unsynchronized shared write);
+//   - errsink: every error value must reach a sink — returned, logged on
+//     a cold path, or counted into a metric; discards into _, dropped
+//     error results of statement calls, and errors forwarded to functions
+//     that provably never observe them (through module-wide error-
+//     parameter-read summaries over the call graph) are diagnostics;
+//   - ctxflow: blocking operations reachable from daemon serve/loop
+//     roots (main/run* in main packages, Run/Serve/Start* methods) must
+//     be cancellable — no time.Sleep, no bare receive or unbuffered send
+//     outside a select, no select without a default or stop-signal case;
+//   - lifecycle: every long-running goroutine spawned by a component (a
+//     type with a Start*/Run/Serve or Close/Stop/Shutdown method) must be
+//     tied to a stop signal the component's Close/Stop provably fires,
+//     and firing it must join before returning;
+//   - netguard: outbound HTTP must carry deadlines — no http.Get /
+//     http.DefaultClient / timeout-less http.Client literal — and retry
+//     loops around network calls must route through the jittered backoff
+//     helpers (no waiver: every finding has a mechanical fix);
 //   - waiverdrift: every waiver directive must still suppress at least
 //     one diagnostic, and //apollo:blocking functions must actually be
 //     able to block, so the annotation contract cannot rot.
@@ -73,6 +90,13 @@
 //	//apollo:sharedcapok <reason>      suppress a sharedcap finding on the
 //	                                   escape's or the write's line;
 //	                                   reason required
+//	//apollo:errok <reason>            suppress an errsink finding on this
+//	                                   line (deliberate best-effort
+//	                                   discard); reason required
+//	//apollo:ctxok <reason>            suppress a ctxflow finding on this
+//	                                   line, or a lifecycle finding on the
+//	                                   go statement's line (deliberately
+//	                                   detached goroutine); reason required
 package analysis
 
 import (
@@ -82,6 +106,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Diagnostic is one finding: a position, the analyzer that produced it,
@@ -119,7 +144,8 @@ type Analyzer struct {
 // All returns the full apollo-vet analyzer suite.
 func All() []*Analyzer {
 	return []*Analyzer{HotPath, AtomicAlign, LockScope, SchemaHash,
-		LockOrder, GoLeak, DetOrder, CowSafe, PubInit, SharedCap, WaiverDrift}
+		LockOrder, GoLeak, DetOrder, CowSafe, PubInit, SharedCap,
+		ErrSink, CtxFlow, Lifecycle, NetGuard, WaiverDrift}
 }
 
 // ByName returns the analyzers with the given comma-separated names.
@@ -162,6 +188,10 @@ type Stats struct {
 	// least one finding during this run (only analyzers with a tracking
 	// mode contribute).
 	WaiversUsed int
+	// PerAnalyzerMS is each analyzer's wall time in milliseconds; the
+	// analyzers run concurrently, so entries overlap and do not sum to
+	// the run's wall time.
+	PerAnalyzerMS map[string]float64
 }
 
 // RunAllStats is RunAll plus per-analyzer accounting: analyzers with a
@@ -170,23 +200,27 @@ type Stats struct {
 func RunAllStats(prog *Program, analyzers []*Analyzer) ([]Diagnostic, Stats) {
 	uses := &waiverUse{}
 	results := make([][]Diagnostic, len(analyzers))
+	elapsed := make([]time.Duration, len(analyzers))
 	var wg sync.WaitGroup
 	for i, a := range analyzers {
 		wg.Add(1)
 		go func(i int, a *Analyzer) {
 			defer wg.Done()
+			start := time.Now()
 			if a.runTracked != nil {
 				results[i] = a.runTracked(prog, uses)
 			} else {
 				results[i] = a.Run(prog)
 			}
+			elapsed[i] = time.Since(start)
 		}(i, a)
 	}
 	wg.Wait()
-	stats := Stats{PerAnalyzer: map[string]int{}}
+	stats := Stats{PerAnalyzer: map[string]int{}, PerAnalyzerMS: map[string]float64{}}
 	var all []Diagnostic
 	for i, r := range results {
 		stats.PerAnalyzer[analyzers[i].Name] += len(r)
+		stats.PerAnalyzerMS[analyzers[i].Name] += float64(elapsed[i].Microseconds()) / 1000
 		all = append(all, r...)
 	}
 	uses.mu.Lock()
@@ -221,6 +255,8 @@ const (
 	dirDetOrderOK  = "detorderok"
 	dirCowOK       = "cowok"
 	dirSharedCapOK = "sharedcapok"
+	dirErrOK       = "errok"
+	dirCtxOK       = "ctxok"
 )
 
 // directive is one parsed //apollo:* comment.

@@ -195,6 +195,37 @@ func TestSharedCapCorpus(t *testing.T) {
 	runCorpus(t, "sharedcapmod", []*Analyzer{SharedCap})
 }
 
+func TestErrSinkCorpus(t *testing.T) {
+	runCorpus(t, "errmod", []*Analyzer{ErrSink})
+}
+
+func TestCtxFlowCorpus(t *testing.T) {
+	diags := runCorpus(t, "ctxmod", []*Analyzer{CtxFlow})
+
+	// The helper's bare receive is reported through the StartDrain root,
+	// so the diagnostic must carry the discovery chain.
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "bare receive") {
+			found = true
+			if !strings.Contains(strings.Join(d.Chain, " -> "), "StartDrain") {
+				t.Errorf("bare-receive diagnostic lacks its call chain: %s", d)
+			}
+		}
+	}
+	if !found {
+		t.Error("no bare-receive diagnostic in ctxmod")
+	}
+}
+
+func TestLifecycleCorpus(t *testing.T) {
+	runCorpus(t, "lifecyclemod", []*Analyzer{Lifecycle})
+}
+
+func TestNetGuardCorpus(t *testing.T) {
+	runCorpus(t, "netmod", []*Analyzer{NetGuard})
+}
+
 func TestWaiverDriftCorpus(t *testing.T) {
 	diags := runCorpus(t, "waivermod", []*Analyzer{WaiverDrift})
 

@@ -1,0 +1,100 @@
+// Package ctxmod is the ctxflow-analyzer corpus: blocking operations
+// reachable from serve roots (Run/Serve/Start*) that no stop signal can
+// interrupt, their cancellable counterparts, and ctxok waivers.
+package ctxmod
+
+import "time"
+
+// Daemon's channels: stop is the shutdown signal, data the stream.
+type Daemon struct {
+	stop chan struct{}
+	data chan int
+}
+
+var sunk int
+
+func sink(v int) { sunk += v }
+
+// Run selects on the stop signal alongside the stream: clean.
+func (d *Daemon) Run() {
+	for {
+		select {
+		case <-d.stop:
+			return
+		case v := <-d.data:
+			sink(v)
+		}
+	}
+}
+
+// Serve's select has no stop case: nothing can interrupt the wait.
+func (d *Daemon) Serve() {
+	for {
+		select { // want `select has no default case and no stop-signal receive`
+		case v := <-d.data:
+			sink(v)
+		}
+	}
+}
+
+// StartPoll sleeps flat on a serve path: uncancellable.
+func (d *Daemon) StartPoll() {
+	for {
+		time.Sleep(time.Second) // want `time\.Sleep cannot be cancelled`
+		sink(1)
+	}
+}
+
+// helper is reachable from the StartDrain root: its bare receive is
+// reported with the call chain attached.
+func helper(c chan int) int {
+	return <-c // want `bare receive from c cannot be cancelled`
+}
+
+func (d *Daemon) StartDrain() {
+	for {
+		sink(helper(d.data))
+	}
+}
+
+// StartPush sends on a channel known to be unbuffered, outside any
+// select: the send blocks forever once the receiver is gone.
+func (d *Daemon) StartPush() {
+	ch := make(chan int)
+	for {
+		ch <- 1 // want `send on unbuffered channel ch blocks forever`
+	}
+}
+
+// StartBuffered sends on a known-buffered channel: clean.
+func (d *Daemon) StartBuffered() {
+	ch := make(chan int, 8)
+	for i := 0; i < 4; i++ {
+		ch <- i
+	}
+}
+
+// StartPolite selects with a default case: the wait cannot hang.
+func (d *Daemon) StartPolite() {
+	for i := 0; i < 4; i++ {
+		select {
+		case v := <-d.data:
+			sink(v)
+		default:
+			return
+		}
+	}
+}
+
+// StartWaived documents a deliberate bounded busy-wait.
+func (d *Daemon) StartWaived() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond) //apollo:ctxok test fixture: bounded three-iteration warmup wait
+	}
+}
+
+// notRoot is unreachable from any serve root, so its sleep is not a
+// daemon liability: clean.
+func notRoot() {
+	time.Sleep(time.Second)
+}

@@ -1,0 +1,3 @@
+module ctxmod
+
+go 1.22

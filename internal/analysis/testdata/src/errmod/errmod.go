@@ -1,0 +1,90 @@
+// Package errmod is the errsink-analyzer corpus: blank-identifier
+// discards, statement calls that drop error results, forwards into
+// functions that never observe the parameter, infallible-by-contract
+// calls, and errok waivers.
+package errmod
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+var hits int
+
+func mayFail() error { return errors.New("boom") }
+
+func twoVals() (int, error) { return 0, errors.New("boom") }
+
+// Discarding an error into the blank identifier is a finding.
+func BlankAssign() {
+	_ = mayFail() // want `error result of mayFail\(\) is discarded into _`
+}
+
+// The multi-value form is the same discard.
+func BlankMulti() int {
+	v, _ := twoVals() // want `error result of twoVals is discarded into _`
+	return v
+}
+
+// A statement call whose results include an error silently drops it.
+func DropStmt() {
+	mayFail() // want `error result of mayFail is silently dropped`
+}
+
+// Returning the error is a sink: clean.
+func Returned() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// fmt's print family, strings.Builder, and hash writes cannot fail by
+// documented contract: clean.
+func Infallible() string {
+	fmt.Println("status")
+	var b strings.Builder
+	b.WriteString("x")
+	h := fnv.New64a()
+	h.Write([]byte("x"))
+	fmt.Fprintf(&b, "%x", h.Sum64())
+	return b.String()
+}
+
+// logCount never mentions its error parameter, so forwarding an error
+// there discards it.
+func logCount(n int, err error) { hits += n }
+
+// DeadForward's error only reaches a function that provably ignores it.
+func DeadForward() {
+	err := mayFail() // want `only flows to .*logCount, which never observes its error parameter`
+	logCount(1, err)
+}
+
+// observe reads its parameter, so forwarding there is a sink: clean.
+func observe(err error) {
+	if err != nil {
+		hits++
+	}
+}
+
+func LiveForward() {
+	err := mayFail()
+	observe(err)
+}
+
+// relay forwards its parameter to observe, so passing an error to relay
+// transitively reaches a sink: clean.
+func relay(err error) { observe(err) }
+
+func TransitiveForward() {
+	err := mayFail()
+	relay(err)
+}
+
+// A waived drop is silent.
+func Waived() {
+	mayFail() //apollo:errok fire-and-forget probe; failure is expected and harmless here
+}

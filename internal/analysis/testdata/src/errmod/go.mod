@@ -1,0 +1,3 @@
+module errmod
+
+go 1.22

@@ -1,0 +1,3 @@
+module lifecyclemod
+
+go 1.22

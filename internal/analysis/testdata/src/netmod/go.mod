@@ -1,0 +1,3 @@
+module netmod
+
+go 1.22

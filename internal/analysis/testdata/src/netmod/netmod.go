@@ -1,0 +1,68 @@
+// Package netmod is the netguard-analyzer corpus: timeout-less HTTP
+// entry points, bare http.Client literals, and flat-sleep retry loops
+// that bypass the jittered backoff helper. There is no waiver for this
+// analyzer: every case has a mechanical fix.
+package netmod
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// FetchDefault rides the shared default client, which has no deadline.
+func FetchDefault(url string) (*http.Response, error) {
+	return http.Get(url) // want `http\.Get uses the timeout-less http\.DefaultClient`
+}
+
+// FetchShared touches http.DefaultClient directly: same hazard.
+func FetchShared(url string) (*http.Response, error) {
+	return http.DefaultClient.Get(url) // want `http\.DefaultClient has no timeout`
+}
+
+// NewLazyClient builds a client whose requests carry no deadline.
+func NewLazyClient() *http.Client {
+	return &http.Client{} // want `http\.Client literal without a Timeout`
+}
+
+// NewClient carries a deadline: clean.
+func NewClient() *http.Client {
+	return &http.Client{Timeout: 3 * time.Second}
+}
+
+// DialRetry sleeps flat between attempts: the fleet stampedes in sync.
+func DialRetry(addr string) net.Conn {
+	for i := 0; i < 5; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c
+		}
+		time.Sleep(time.Second) // want `flat time\.Sleep retry around a network call`
+	}
+	return nil
+}
+
+// backoff is this module's jittered backoff helper.
+func backoff(i int) time.Duration { return time.Duration(i+1) * time.Millisecond }
+
+// DialBackoff routes the delay through the backoff helper: clean.
+func DialBackoff(addr string) net.Conn {
+	for i := 0; i < 5; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c
+		}
+		time.Sleep(backoff(i))
+	}
+	return nil
+}
+
+// CopyLoop sleeps in a loop with no network call at all: clean.
+func CopyLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+		time.Sleep(time.Millisecond)
+	}
+	return total
+}

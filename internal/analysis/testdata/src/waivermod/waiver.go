@@ -141,6 +141,32 @@ func Await(ch chan int) int { return <-ch }
 //apollo:blocking // want `stale //apollo:blocking on waivermod\.Calm: the body cannot block \(no channel op, lock, or blocking call\); remove the annotation`
 func Calm() int { return 1 }
 
+func mayErr() error { return nil }
+
+func quietCall() {}
+
+// Live errok: the probe really is fire-and-forget.
+func Probe() {
+	mayErr() //apollo:errok fire-and-forget warmup probe; failure is harmless
+}
+
+// Stale errok: the call returns nothing; there is no error to drop.
+func Quiet() {
+	quietCall() //apollo:errok left over from the fallible version // want `stale //apollo:errok waiver: it no longer suppresses any diagnostic; delete it`
+}
+
+// Live ctxok: the sleep is on a serve root and deliberately flat.
+func StartWarm() {
+	for i := 0; i < 2; i++ {
+		time.Sleep(time.Millisecond) //apollo:ctxok bounded two-iteration warmup wait
+	}
+}
+
+// Stale ctxok: nothing on this line blocks.
+func StartCold() {
+	quietCall() //apollo:ctxok left over from the sleeping version // want `stale //apollo:ctxok waiver: it no longer suppresses any diagnostic; delete it`
+}
+
 func init() {
 	_ = orphanFill
 	_ = WriteUnlocked

@@ -11,13 +11,14 @@ import (
 // WaiverDrift keeps the annotation contract honest: a waiver that no
 // longer suppresses anything is a lie waiting to hide a future
 // regression. It re-runs the suppressing analyzers (hotpath, lockscope,
-// goleak, detorder, cowsafe, pubinit, sharedcap) in tracking mode, then
-// reports:
+// goleak, detorder, cowsafe, pubinit, sharedcap, errsink, ctxflow,
+// lifecycle) in tracking mode, then reports:
 //
 //   - every //apollo:allocok, //apollo:lockok, //apollo:coldpath,
-//     //apollo:goleakok, //apollo:detorderok, //apollo:cowok, or
-//     //apollo:sharedcapok directive that did not suppress a single
-//     diagnostic (for coldpath: that no hot-path traversal stopped at);
+//     //apollo:goleakok, //apollo:detorderok, //apollo:cowok,
+//     //apollo:sharedcapok, //apollo:errok, or //apollo:ctxok directive
+//     that did not suppress a single diagnostic (for coldpath: that no
+//     hot-path traversal stopped at);
 //   - every //apollo:blocking function whose body provably cannot block
 //     (no channel operation, mutex acquisition, blocking external call,
 //     or transitively blocking module callee), so stale blocking
@@ -37,6 +38,9 @@ func runWaiverDrift(prog *Program) []Diagnostic {
 	_ = runCowSafeTracked(prog, uses)
 	_ = runPubInitTracked(prog, uses)
 	_ = runSharedCapTracked(prog, uses)
+	_ = runErrSinkTracked(prog, uses)
+	_ = runCtxFlowTracked(prog, uses)
+	_ = runLifecycleTracked(prog, uses)
 
 	waiverDirs := map[string]bool{
 		dirAllocOK:     true,
@@ -46,6 +50,8 @@ func runWaiverDrift(prog *Program) []Diagnostic {
 		dirDetOrderOK:  true,
 		dirCowOK:       true,
 		dirSharedCapOK: true,
+		dirErrOK:       true,
+		dirCtxOK:       true,
 	}
 	var diags []Diagnostic
 	for _, pkg := range prog.Packages {

@@ -157,7 +157,7 @@ func (c *Client) Push(name string, m *core.Model) (int, error) {
 		return 0, err
 	}
 	defer resp.Body.Close()
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20)) //apollo:errok best-effort error-body snippet; the status error is being built regardless
 	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
 		return 0, fmt.Errorf("client: push %s: %s: %s", name, resp.Status, bytes.TrimSpace(data))
 	}
@@ -260,14 +260,14 @@ func (c *Client) Fetch(name string) (*Cached, error) {
 		c.ok(st)
 		return next, nil
 	case http.StatusNotFound:
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //apollo:errok best-effort drain so the connection can be reused
 		c.fail(st)
 		if cur != nil {
 			return cur, nil
 		}
 		return nil, fmt.Errorf("client: fetching %s: %w", name, ErrNotFound)
 	default:
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //apollo:errok best-effort drain so the connection can be reused
 		c.fail(st)
 		if cur != nil {
 			return cur, nil

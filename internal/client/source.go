@@ -151,7 +151,7 @@ func (s *Source) StartPolling(interval time.Duration) (stop func()) {
 			case <-stopCh:
 				return
 			case <-t.C:
-				s.Refresh()
+				s.Refresh() //apollo:errok Refresh records its failure in lastErr, surfaced via Err()
 			}
 		}
 	}()

@@ -34,7 +34,7 @@ func (c *Client) PostTelemetry(b *telemetry.Batch) error {
 		return fmt.Errorf("client: posting telemetry for %s: %w", b.Model, err)
 	}
 	defer resp.Body.Close()
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20)) //apollo:errok best-effort error-body snippet; the status error is being built regardless
 	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("client: posting telemetry for %s: %s: %s",
 			b.Model, resp.Status, bytes.TrimSpace(data))
@@ -168,10 +168,10 @@ func (u *Uploader) Start(ctx context.Context, interval time.Duration) <-chan str
 		for {
 			select {
 			case <-ctx.Done():
-				u.Flush()
+				u.Flush() //apollo:errok Flush requeues failed batches and counts terminal drops
 				return
 			case <-t.C:
-				u.Flush()
+				u.Flush() //apollo:errok Flush requeues failed batches and counts terminal drops
 			}
 		}
 	}()

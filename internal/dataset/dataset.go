@@ -211,7 +211,7 @@ func (f *Frame) SaveCSV(path string) error {
 		return err
 	}
 	if err := f.WriteCSV(file); err != nil {
-		file.Close()
+		file.Close() //apollo:errok Close on the error path; the write error is already being returned
 		return err
 	}
 	return file.Close()

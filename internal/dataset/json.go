@@ -67,7 +67,7 @@ func (f *Frame) SaveJSONL(path string) error {
 		return err
 	}
 	if err := f.WriteJSONL(file); err != nil {
-		file.Close()
+		file.Close() //apollo:errok Close on the error path; the write error is already being returned
 		return err
 	}
 	return file.Close()

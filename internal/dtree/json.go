@@ -137,7 +137,7 @@ func (t *Tree) Save(path string) error {
 		return err
 	}
 	if err := t.Write(f); err != nil {
-		f.Close()
+		f.Close() //apollo:errok Close on the error path; the write error is already being returned
 		return err
 	}
 	return f.Close()

@@ -108,7 +108,7 @@ func (h *Health) probe(p Peer) bool {
 		return false
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //apollo:errok best-effort drain so the probe connection can be reused
 	return resp.StatusCode == http.StatusOK
 }
 

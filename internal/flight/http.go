@@ -58,7 +58,7 @@ func RegisterDebug(mux *http.ServeMux, rec *Recorder) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(rec.Capture())
+		enc.Encode(rec.Capture()) //apollo:errok debug endpoint: a client gone mid-response has no receiver for the error
 	})
 	mux.HandleFunc("GET /debug/apollo/trace", func(w http.ResponseWriter, req *http.Request) {
 		if rec == nil {
@@ -80,7 +80,7 @@ func RegisterDebug(mux *http.ServeMux, rec *Recorder) {
 		}
 		events := rec.CaptureTrace(req.Context(), d)
 		w.Header().Set("Content-Type", "application/json")
-		trace.WriteChromeTrace(w, events)
+		trace.WriteChromeTrace(w, events) //apollo:errok debug endpoint: a client gone mid-response has no receiver for the error
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

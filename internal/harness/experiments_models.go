@@ -36,7 +36,10 @@ func (r *Runner) Fig1() error {
 	tbl.write(r.opts.Out)
 	fmt.Fprintln(r.opts.Out, "\nPer-kernel variation (max/min runtime across all policy and chunk choices):")
 	for _, desc := range Apps() {
-		d, _ := r.record(desc.Name)
+		d, err := r.record(desc.Name)
+		if err != nil {
+			return err
+		}
 		perKernel := variationByKernel(d, r.schema, names)
 		kt := newTable("kernel", "launch configs", "median", "worst")
 		for _, name := range sortedKeys(perKernel) {

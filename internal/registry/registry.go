@@ -444,16 +444,16 @@ func writeFileAtomic(path string, data []byte) error {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		tmp.Close()           //apollo:errok best-effort cleanup after a failed atomic write; the original error is returned
+		os.Remove(tmp.Name()) //apollo:errok best-effort cleanup after a failed atomic write; the original error is returned
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		os.Remove(tmp.Name()) //apollo:errok best-effort cleanup after a failed atomic write; the original error is returned
 		return err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+		os.Remove(tmp.Name()) //apollo:errok best-effort cleanup after a failed atomic write; the original error is returned
 		return err
 	}
 	return nil

@@ -131,11 +131,28 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// noteWriteError counts a failed response write. By the time a body
+// write fails the client has hung up mid-response, so there is nobody
+// left to answer; the counter is the error's sink.
+func (s *Server) noteWriteError(where string, err error) {
+	if err == nil {
+		return
+	}
+	s.met.CounterAdd("apollo_response_write_errors_total", "handler", where,
+		"Response bodies that failed to write (client gone mid-response).", 1)
+}
+
+// writeJSON encodes v into the response and counts write failures under
+// the given handler label.
+func (s *Server) writeJSON(w http.ResponseWriter, where string, v any) {
+	s.noteWriteError(where, json.NewEncoder(w).Encode(v))
+}
+
 // errorJSON writes a JSON error body with the given status.
-func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
+func (s *Server) errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	s.writeJSON(w, "error", map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // modelInfo is the JSON summary of one registry entry. Compiled carries
@@ -171,16 +188,16 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	data, err := io.ReadAll(io.LimitReader(r.Body, maxModelBytes+1))
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, "reading body: %v", err)
+		s.errorJSON(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
 	if len(data) > maxModelBytes {
-		errorJSON(w, http.StatusRequestEntityTooLarge, "model exceeds %d bytes", maxModelBytes)
+		s.errorJSON(w, http.StatusRequestEntityTooLarge, "model exceeds %d bytes", maxModelBytes)
 		return
 	}
 	e, err := s.reg.PublishRaw(name, data)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, "%v", err)
+		s.errorJSON(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.met.CounterAdd("apollo_model_publishes_total", "model", name,
@@ -190,14 +207,14 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("ETag", e.ETag)
 	w.WriteHeader(http.StatusCreated)
-	json.NewEncoder(w).Encode(info(e))
+	s.writeJSON(w, "models_put", info(e))
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	e, ok := s.reg.Get(name)
 	if !ok {
-		errorJSON(w, http.StatusNotFound, "no model %q", name)
+		s.errorJSON(w, http.StatusNotFound, "no model %q", name)
 		return
 	}
 	w.Header().Set("ETag", e.ETag)
@@ -210,7 +227,8 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(e.Raw)
+	_, err := w.Write(e.Raw)
+	s.noteWriteError("models_get", err)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -223,7 +241,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{"models": out})
+	s.writeJSON(w, "models_list", map[string]any{"models": out})
 }
 
 // predictRequest is the POST /predict body. Exactly one of X, Batch, or
@@ -249,12 +267,12 @@ type predictResponse struct {
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req predictRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxModelBytes)).Decode(&req); err != nil {
-		errorJSON(w, http.StatusBadRequest, "decoding request: %v", err)
+		s.errorJSON(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	e, ok := s.reg.Get(req.Model)
 	if !ok {
-		errorJSON(w, http.StatusNotFound, "no model %q", req.Model)
+		s.errorJSON(w, http.StatusNotFound, "no model %q", req.Model)
 		return
 	}
 	want := e.Model.Schema.Len()
@@ -268,7 +286,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		for name, v := range req.Features {
 			i := e.Model.Schema.Index(name)
 			if i < 0 {
-				errorJSON(w, http.StatusBadRequest, "model %q has no feature %q (features: %v)",
+				s.errorJSON(w, http.StatusBadRequest, "model %q has no feature %q (features: %v)",
 					req.Model, name, e.Model.Schema.Names())
 				return
 			}
@@ -277,12 +295,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		vectors, single = [][]float64{x}, true
 	case req.Batch != nil && req.X == nil && req.Features == nil:
 	default:
-		errorJSON(w, http.StatusBadRequest, "set exactly one of x, batch, or features")
+		s.errorJSON(w, http.StatusBadRequest, "set exactly one of x, batch, or features")
 		return
 	}
 	for i, x := range vectors {
 		if len(x) != want {
-			errorJSON(w, http.StatusBadRequest, "vector %d has %d features, model %q wants %d",
+			s.errorJSON(w, http.StatusBadRequest, "vector %d has %d features, model %q wants %d",
 				i, len(x), req.Model, want)
 			return
 		}
@@ -306,7 +324,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Classes, resp.Labels = nil, nil
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	s.writeJSON(w, "predict", resp)
 }
 
 // predict evaluates one vector through the memo cache. Cache-missing
@@ -434,11 +452,11 @@ func decisionKey(etag string, x []float64) string {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "models": s.reg.Len()})
+	s.writeJSON(w, "healthz", map[string]any{"status": "ok", "models": s.reg.Len()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.rc.Collect() // refresh goroutine/heap/GC-pause self-metrics
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.WritePrometheus(w)
+	s.noteWriteError("metrics", s.met.WritePrometheus(w))
 }

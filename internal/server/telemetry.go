@@ -64,7 +64,7 @@ func (s *Server) CloseSpools() error {
 func (s *Server) rejectTelemetry(w http.ResponseWriter, status int, reason, format string, args ...any) {
 	s.met.CounterAdd("apollo_telemetry_rejected_total", "reason", reason,
 		"Telemetry batches rejected, by reason.", 1)
-	errorJSON(w, status, format, args...)
+	s.errorJSON(w, status, format, args...)
 }
 
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
@@ -117,5 +117,5 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		"Telemetry sample rows ingested, by model.", uint64(len(b.Rows)))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(map[string]any{"rows": len(b.Rows), "spooled": sp.Appended()})
+	s.writeJSON(w, "telemetry", map[string]any{"rows": len(b.Rows), "spooled": sp.Appended()})
 }

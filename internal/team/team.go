@@ -32,6 +32,7 @@ type task struct {
 type Team struct {
 	size    int
 	work    []chan task
+	done    sync.WaitGroup
 	closed  atomic.Bool
 	regions atomic.Uint64
 }
@@ -43,6 +44,7 @@ func New(n int) *Team {
 		n = runtime.GOMAXPROCS(0)
 	}
 	t := &Team{size: n, work: make([]chan task, n)}
+	t.done.Add(n)
 	for w := 0; w < n; w++ {
 		t.work[w] = make(chan task, 1)
 		go t.worker(w)
@@ -57,6 +59,7 @@ func (t *Team) Size() int { return t.size }
 func (t *Team) Regions() uint64 { return t.regions.Load() }
 
 func (t *Team) worker(id int) {
+	defer t.done.Done()
 	for tk := range t.work[id] {
 		runChunks(id, t.size, tk)
 		tk.wg.Done()
@@ -109,7 +112,8 @@ func (t *Team) ParallelFor(lo, hi, chunk int, body func(i int)) {
 	wg.Wait()
 }
 
-// Close shuts the team's workers down. The team must not be used after
+// Close shuts the team's workers down and waits for them to exit, so no
+// worker goroutine outlives the Team. The team must not be used after
 // Close. Close is idempotent.
 func (t *Team) Close() {
 	if t.closed.Swap(true) {
@@ -118,6 +122,7 @@ func (t *Team) Close() {
 	for _, ch := range t.work {
 		close(ch)
 	}
+	t.done.Wait()
 }
 
 // ChunkAssignment reports, for an iteration space of n with the given

@@ -181,13 +181,13 @@ func (s *Spool) openSegmentLocked() error {
 	}
 	hdr, err := json.Marshal(spoolHeader{Format: spoolFrameFormatID, Columns: s.columns})
 	if err != nil {
-		f.Close()
+		f.Close() //apollo:errok Close on the error path; the write error is already being returned
 		return err
 	}
 	hdr = append(hdr, '\n')
 	n, err := f.Write(hdr)
 	if err != nil {
-		f.Close()
+		f.Close() //apollo:errok Close on the error path; the write error is already being returned
 		return err
 	}
 	s.f, s.size = f, int64(n)

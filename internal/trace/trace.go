@@ -208,7 +208,7 @@ func SaveChromeTrace(path string, events []Event) error {
 		return err
 	}
 	if err := WriteChromeTrace(f, events); err != nil {
-		f.Close()
+		f.Close() //apollo:errok Close on the error path; the write error is already being returned
 		return err
 	}
 	return f.Close()
