@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build lint test race stress bench results quick-results cover clean serve-smoke loop-smoke flight-smoke fleet-smoke compile-smoke vet-bench vet-diff
+.PHONY: all build lint test race stress bench results quick-results cover clean serve-smoke loop-smoke flight-smoke fleet-smoke compile-smoke lineage-smoke vet-bench vet-diff
 
-all: build lint vet-diff test race flight-smoke fleet-smoke compile-smoke
+all: build lint vet-diff test race flight-smoke fleet-smoke compile-smoke lineage-smoke
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,14 @@ fleet-smoke:
 # live /predict endpoint.
 compile-smoke:
 	GO="$(GO)" ./scripts/compile_smoke.sh
+
+# End-to-end smoke test of closed-loop lineage tracing: three replicas,
+# apollo-traind, and apollo-tune journal loop events into one directory;
+# one forced drift cycle must stitch into a complete causal timeline
+# with a nonzero loop reaction time, and the publish replica must export
+# the apollo_model_lineage info-series.
+lineage-smoke:
+	GO="$(GO)" ./scripts/lineage_smoke.sh
 
 clean:
 	$(GO) clean ./...

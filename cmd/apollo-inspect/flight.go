@@ -98,6 +98,7 @@ func runFlightCmd(args []string) error {
 	in := fs.String("in", "", "flight capture JSON file (apollo-flight-v1)")
 	url := fs.String("url", "", "fetch the capture from a live /debug/apollo/flight endpoint")
 	top := fs.Int("top", 20, "rows to print per table")
+	jsonOut := fs.Bool("json", false, "emit the analysis as JSON instead of tables")
 	timeout := fs.Duration("timeout", 3*time.Second, "HTTP timeout for -url fetches")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,11 +115,51 @@ func runFlightCmd(args []string) error {
 		return fmt.Errorf("not a flight capture (format %q, want apollo-flight-v1)", c.Format)
 	}
 	decodeOffsetPaths(&c)
+	if *jsonOut {
+		return writeFlightJSON(os.Stdout, &c)
+	}
 	fmt.Printf("flight capture: %d records retained, %d emitted, %d dropped\n",
 		len(c.Records), c.Emitted, c.Dropped)
 	writeMispredictTable(os.Stdout, c.Records, *top)
 	writePathHistogram(os.Stdout, c.Records, *top)
 	return nil
+}
+
+// writeFlightJSON emits the flight analysis — capture counters plus the
+// full misprediction table — as one JSON object, so scripts can assert
+// on regret numbers without scraping the text tables.
+func writeFlightJSON(w io.Writer, c *flightCapture) error {
+	type rowJSON struct {
+		Region       string  `json:"region"`
+		Launches     int     `json:"launches"`
+		Chosen       string  `json:"chosen"`
+		ChosenMeanNS float64 `json:"chosen_mean_ns"`
+		Best         string  `json:"best"`
+		BestMeanNS   float64 `json:"best_mean_ns"`
+		Regret       float64 `json:"regret"`
+		Mispredicted bool    `json:"mispredicted"`
+	}
+	rows := mispredictTable(c.Records)
+	out := struct {
+		Format      string    `json:"format"`
+		Records     int       `json:"records"`
+		Emitted     uint64    `json:"emitted"`
+		Dropped     uint64    `json:"dropped"`
+		Regions     int       `json:"comparable_regions"`
+		Mispredicts []rowJSON `json:"mispredicts"`
+	}{Format: "apollo-flight-report-v1", Records: len(c.Records),
+		Emitted: c.Emitted, Dropped: c.Dropped, Regions: len(rows)}
+	for _, r := range rows {
+		out.Mispredicts = append(out.Mispredicts, rowJSON{
+			Region: r.region, Launches: r.launches,
+			Chosen: r.chosen, ChosenMeanNS: r.chosenMeanNS,
+			Best: r.best, BestMeanNS: r.bestMeanNS,
+			Regret: r.regret, Mispredicted: r.chosen != r.best,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // decodeOffsetPaths fills in Path for records that carry only a compact

@@ -14,6 +14,9 @@
 //	apollo-inspect flight -in capture.json       misprediction table +
 //	                                             decision-path histogram
 //	apollo-inspect flight -url http://127.0.0.1:9999/debug/apollo/flight
+//	apollo-inspect loop -dir ./loopjournal       stitch closed-loop event
+//	                                             journals into per-loop
+//	                                             timelines + reaction SLOs
 //	apollo-inspect trace -in trace.json          validate a Chrome trace
 //	apollo-inspect fleet -replicas "r1=http://:8081,r2=http://:8082"
 //	                                             per-replica health and
@@ -37,6 +40,8 @@ func main() {
 			err = runModelsCmd(os.Args[2:])
 		case "flight":
 			err = runFlightCmd(os.Args[2:])
+		case "loop":
+			err = runLoopCmd(os.Args[2:])
 		case "trace":
 			err = runTraceCmd(os.Args[2:])
 		case "fleet":

@@ -36,6 +36,7 @@ import (
 
 	"apollo/internal/fleet"
 	"apollo/internal/flight"
+	"apollo/internal/looptrace"
 	"apollo/internal/registry"
 	"apollo/internal/server"
 )
@@ -49,11 +50,12 @@ func main() {
 	id := flag.String("id", "", "fleet replica id (used to skip self in -peers)")
 	peers := flag.String("peers", "", "fleet peers as comma-separated id=url pairs; enables model sync")
 	sync := flag.Duration("sync", 2*time.Second, "fleet model-sync poll interval")
+	loopJournal := flag.String("loop-journal", "", "directory for the closed-loop event journal; enables loop tracing and /debug/apollo/loop")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *dir, *telemetry, *debugAddr, *id, *peers, *poll, *sync, nil, nil); err != nil {
+	if err := run(ctx, *addr, *dir, *telemetry, *debugAddr, *id, *peers, *loopJournal, *poll, *sync, nil, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "apollo-serve:", err)
 		os.Exit(1)
 	}
@@ -63,7 +65,7 @@ func main() {
 // are called with the bound listener addresses once each server is
 // accepting connections (tests and port-0 wrappers use them to learn the
 // actual ports).
-func run(ctx context.Context, addr, dir, telemetryDir, debugAddr, id, peerSpec string,
+func run(ctx context.Context, addr, dir, telemetryDir, debugAddr, id, peerSpec, loopJournal string,
 	poll, sync time.Duration, ready, debugReady func(net.Addr)) error {
 	reg, err := registry.Open(dir)
 	if err != nil {
@@ -87,6 +89,22 @@ func run(ctx context.Context, addr, dir, telemetryDir, debugAddr, id, peerSpec s
 	var opts []server.Option
 	if telemetryDir != "" {
 		opts = append(opts, server.WithTelemetryDir(telemetryDir))
+	}
+	var tr *looptrace.Tracer
+	if loopJournal != "" {
+		actor := "serve"
+		if id != "" {
+			actor = "serve:" + id
+		}
+		tr = looptrace.New(actor, looptrace.Options{})
+		if err := tr.OpenJournal(loopJournal); err != nil {
+			return err
+		}
+		defer tr.Close()
+		flushDone := tr.Start(ctx, time.Second)
+		defer func() { <-flushDone }()
+		opts = append(opts, server.WithLoopTrace(tr))
+		fmt.Printf("apollo-serve: loop journal at %s\n", looptrace.JournalPath(loopJournal, actor))
 	}
 	srv := server.New(reg, opts...)
 	defer srv.CloseSpools()
@@ -115,7 +133,9 @@ func run(ctx context.Context, addr, dir, telemetryDir, debugAddr, id, peerSpec s
 		if debugReady != nil {
 			debugReady(dln.Addr())
 		}
-		go http.Serve(dln, flight.DebugMux(srv.Flight()))
+		dmux := flight.DebugMux(srv.Flight())
+		looptrace.RegisterDebug(dmux, tr)
+		go http.Serve(dln, dmux)
 	}
 
 	go reg.Watch(ctx, poll, func(n int) {
@@ -128,6 +148,7 @@ func run(ctx context.Context, addr, dir, telemetryDir, debugAddr, id, peerSpec s
 			Logf: func(format string, args ...any) {
 				fmt.Printf("apollo-serve: "+format+"\n", args...)
 			},
+			Trace: tr,
 		})
 		fmt.Printf("apollo-serve: syncing models from %d peer(s) every %v\n", len(peers), sync)
 		go func() {

@@ -59,7 +59,7 @@ func TestServeEndToEnd(t *testing.T) {
 	debugAddrs := make(chan net.Addr, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, "127.0.0.1:0", dir, "", "127.0.0.1:0", "", "", 5*time.Millisecond, time.Second,
+		errc <- run(ctx, "127.0.0.1:0", dir, "", "127.0.0.1:0", "", "", "", 5*time.Millisecond, time.Second,
 			func(a net.Addr) { addrs <- a }, func(a net.Addr) { debugAddrs <- a })
 	}()
 	var base string
@@ -230,7 +230,7 @@ func TestServeEndToEnd(t *testing.T) {
 }
 
 func TestServeRejectsBadListenAddr(t *testing.T) {
-	err := run(context.Background(), "256.0.0.1:http", t.TempDir(), "", "", "", "", 0, time.Second, nil, nil)
+	err := run(context.Background(), "256.0.0.1:http", t.TempDir(), "", "", "", "", "", 0, time.Second, nil, nil)
 	if err == nil {
 		t.Fatal("bad listen address accepted")
 	}

@@ -43,6 +43,7 @@ import (
 	"apollo/internal/features"
 	"apollo/internal/fleet"
 	"apollo/internal/flight"
+	"apollo/internal/looptrace"
 	"apollo/internal/metrics"
 	"apollo/internal/telemetry"
 	"apollo/internal/trainer"
@@ -62,6 +63,7 @@ type daemonConfig struct {
 
 	metricsAddr string
 	debugAddr   string
+	loopJournal string
 
 	mispredict    float64
 	shift         float64
@@ -84,6 +86,7 @@ func main() {
 	flag.BoolVar(&cfg.once, "once", false, "run one step and exit")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics on this address (empty disables)")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/apollo/{flight,trace} and pprof on this address (empty disables)")
+	flag.StringVar(&cfg.loopJournal, "loop-journal", "", "directory for the closed-loop event journal; enables loop tracing and /debug/apollo/loop")
 	flag.Float64Var(&cfg.mispredict, "mispredict", 0.25, "mispredict-rate retrain threshold")
 	flag.Float64Var(&cfg.shift, "shift", 6, "feature-shift (z-score) retrain threshold")
 	flag.IntVar(&cfg.minRows, "min-rows", 8, "smallest labeled window worth judging")
@@ -169,6 +172,18 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		fmt.Printf("apollo-traind: publishes gated on %d replica incumbents\n", len(incumbents))
 	}
 
+	var lt *looptrace.Tracer
+	if cfg.loopJournal != "" {
+		lt = looptrace.New("traind", looptrace.Options{})
+		if err := lt.OpenJournal(cfg.loopJournal); err != nil {
+			return err
+		}
+		defer lt.Close()
+		flushDone := lt.Start(ctx, time.Second)
+		defer func() { <-flushDone }()
+		fmt.Printf("apollo-traind: loop journal at %s\n", looptrace.JournalPath(cfg.loopJournal, "traind"))
+	}
+
 	pub := trainer.NewClientPublisher(client.New(cfg.serverURL, client.Options{}))
 	tr, err := trainer.New(cur, pub, trainer.Config{
 		Name:   model,
@@ -182,6 +197,8 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		MaxRegression: cfg.maxRegression,
 		Holdout:       cfg.holdout,
 		Incumbents:    incumbents,
+		ID:            "traind",
+		Trace:         lt,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("apollo-traind: "+format+"\n", args...)
 		},
@@ -207,7 +224,9 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		if cfg.debugReady != nil {
 			cfg.debugReady(dln.Addr())
 		}
-		go http.Serve(dln, flight.DebugMux(fr))
+		dmux := flight.DebugMux(fr)
+		looptrace.RegisterDebug(dmux, lt)
+		go http.Serve(dln, dmux)
 	}
 	if cfg.metricsAddr != "" {
 		ln, err := net.Listen("tcp", cfg.metricsAddr)
@@ -269,6 +288,20 @@ func run(ctx context.Context, cfg daemonConfig) error {
 		gauge("apollo_trainer_publishes_total", "Challengers published.", int64(tr.Publishes()))
 		gauge("apollo_trainer_rejects_total", "Challengers rejected by the holdout duel.", int64(tr.Rejects()))
 		gauge("apollo_trainer_incumbent_vetoes_total", "Publishes blocked by a fleet incumbent.", int64(tr.Vetoes()))
+		const stageHelp = "Closed-loop stage durations, by stage."
+		met.ObserveLabeled("apollo_loop_stage_seconds", "stage", "step", stageHelp, stepNS/1e9)
+		if res.Retrained {
+			met.ObserveLabeled("apollo_loop_stage_seconds", "stage", "retrain", stageHelp, res.RetrainNS/1e9)
+		}
+		if res.DuelNS > 0 {
+			met.ObserveLabeled("apollo_loop_stage_seconds", "stage", "duel", stageHelp, res.DuelNS/1e9)
+		}
+		if res.Published {
+			met.ObserveLabeled("apollo_loop_stage_seconds", "stage", "publish", stageHelp, res.PublishNS/1e9)
+			met.GaugeSet("apollo_model_lineage", "model,version,parent,loop",
+				fmt.Sprintf("%s,%d,%d,%s", model, res.Version, res.ParentVersion, res.LoopID),
+				"Model provenance info-series: the loop that trained each published version and the parent it replaced.", 1)
+		}
 		if merged != nil {
 			merged.ExportMetrics(met)
 		}

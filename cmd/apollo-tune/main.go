@@ -29,6 +29,7 @@ import (
 	"apollo/internal/features"
 	"apollo/internal/flight"
 	"apollo/internal/harness"
+	"apollo/internal/looptrace"
 	"apollo/internal/platform"
 	"apollo/internal/raja"
 	"apollo/internal/telemetry"
@@ -51,10 +52,11 @@ func main() {
 	noise := flag.Float64("noise", 0.05, "measurement noise amplitude")
 	seed := flag.Uint64("seed", 1, "noise seed")
 	debugAddr := flag.String("debug-addr", "", "serve the flight-recorder debug endpoints and pprof on this address (empty disables)")
+	loopJournal := flag.String("loop-journal", "", "directory for the closed-loop event journal; enables loop tracing")
 	flag.Parse()
 
 	if err := run(*serverURL, *model, *appName, *problem, *size, *steps, *maxSteps, *waitSwaps,
-		*sampleEvery, *exploreEvery, *poll, *flush, *noise, *seed, *debugAddr); err != nil {
+		*sampleEvery, *exploreEvery, *poll, *flush, *noise, *seed, *debugAddr, *loopJournal); err != nil {
 		fmt.Fprintln(os.Stderr, "apollo-tune:", err)
 		os.Exit(1)
 	}
@@ -62,7 +64,7 @@ func main() {
 
 func run(serverURL, model, appName, problem string, size, steps, maxSteps, waitSwaps int,
 	sampleEvery, exploreEvery uint64, poll, flush time.Duration, noise float64, seed uint64,
-	debugAddr string) error {
+	debugAddr, loopJournal string) error {
 	if model == "" {
 		return fmt.Errorf("-model is required")
 	}
@@ -84,6 +86,16 @@ func run(serverURL, model, appName, problem string, size, steps, maxSteps, waitS
 	ann := caliper.New()
 	c := client.New(serverURL, client.Options{})
 	src := client.NewSource(c, schema, model, "")
+	var lt *looptrace.Tracer
+	if loopJournal != "" {
+		lt = looptrace.New("tune", looptrace.Options{})
+		if err := lt.OpenJournal(loopJournal); err != nil {
+			return err
+		}
+		defer lt.Close()
+		src.SetTrace(lt)
+		fmt.Printf("apollo-tune: loop journal at %s\n", looptrace.JournalPath(loopJournal, "tune"))
+	}
 	if err := src.Refresh(); err != nil {
 		// Degraded start is allowed: the tuner launches on base params
 		// and picks the model up when the service appears.
@@ -93,7 +105,21 @@ func run(serverURL, model, appName, problem string, size, steps, maxSteps, waitS
 	defer stopPoll()
 
 	rec := telemetry.NewRecorder(schema, ann, telemetry.Options{SampleEvery: sampleEvery})
-	up := client.NewUploader(c, model, rec, client.UploaderOptions{})
+	up := client.NewUploader(c, model, rec, client.UploaderOptions{
+		// Stamp every batch with the model version (and its loop ID) the
+		// tuner is running, so the service can attribute ingested spools.
+		Attribution: func() (int, string) {
+			cached := c.Cached(model)
+			if cached == nil {
+				return 0, ""
+			}
+			loop := ""
+			if cached.Lineage != nil {
+				loop = cached.Lineage.LoopID
+			}
+			return cached.Version, loop
+		},
+	})
 	upCtx, upCancel := context.WithCancel(context.Background())
 	defer upCancel()
 	upDone := up.Start(upCtx, flush)

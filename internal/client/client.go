@@ -49,6 +49,11 @@ type Cached struct {
 	// compiler rejected it; predicts then fall back to the interpreted
 	// walk).
 	Compiled *ctree.Tree
+	// Lineage is the provenance block from the fetched envelope (nil
+	// for hand-published or legacy models); its loop ID lets the client
+	// stamp swap events and telemetry batches with the retrain cycle
+	// that produced the version it runs.
+	Lineage *core.Lineage
 
 	// predict is the specialized closure Compiled.Func built when this
 	// version was installed — the one indirect call a hot decision makes.
@@ -142,7 +147,22 @@ func (c *Client) state(name string) *modelState {
 
 // Push publishes a model under name and returns its new version.
 func (c *Client) Push(name string, m *core.Model) (int, error) {
-	body, err := m.MarshalJSON()
+	return c.PushLineage(name, m, nil)
+}
+
+// PushLineage is Push with a provenance block: lin (optional) rides in
+// an envelope at version 0 (the service assigns the real version) and
+// is persisted into the published artifact.
+func (c *Client) PushLineage(name string, m *core.Model, lin *core.Lineage) (int, error) {
+	var body []byte
+	var err error
+	if lin == nil {
+		body, err = m.MarshalJSON()
+	} else {
+		env := core.WrapModel(name, 0, m)
+		env.Lineage = lin
+		body, err = env.MarshalJSON()
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -249,6 +269,7 @@ func (c *Client) Fetch(name string) (*Cached, error) {
 			ETag:       resp.Header.Get("ETag"),
 			SchemaHash: env.Model.SchemaHash(),
 			Model:      env.Model,
+			Lineage:    env.Lineage,
 		}
 		// Compile and specialize once per installed version, here on the
 		// fetch (cold) path; every later Predict just calls the closure.

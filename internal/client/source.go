@@ -9,6 +9,7 @@ import (
 
 	"apollo/internal/core"
 	"apollo/internal/features"
+	"apollo/internal/looptrace"
 	"apollo/internal/tuner"
 )
 
@@ -38,6 +39,7 @@ type Source struct {
 	lastErr    error
 	swaps      uint64
 	stopPoll   func()
+	trace      *looptrace.Tracer
 }
 
 // NewSource returns a source reading policyName and/or chunkName (either
@@ -52,6 +54,16 @@ func NewSource(c Service, schema *features.Schema, policyName, chunkName string)
 
 // Projectors returns the current set. Lock-free; called per launch.
 func (s *Source) Projectors() *tuner.Projectors { return s.ps.Load() }
+
+// SetTrace routes a client-swap loop event through tr every time the
+// source hot-swaps to a new model version, correlated (via the fetched
+// envelope's lineage block) with the retrain cycle that published it.
+// A nil tracer disables emission; call before StartPolling.
+func (s *Source) SetTrace(tr *looptrace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trace = tr
+}
 
 // Swaps returns how many times a new model version has been swapped in.
 func (s *Source) Swaps() uint64 {
@@ -105,10 +117,12 @@ func (s *Source) Refresh() error {
 	changed := false
 	if policy != nil && (policy.Version != s.policyVer || policy.SchemaHash != s.policyHash) {
 		s.policyVer, s.policyHash = policy.Version, policy.SchemaHash
+		s.emitSwapLocked(policy)
 		changed = true
 	}
 	if chunk != nil && (chunk.Version != s.chunkVer || chunk.SchemaHash != s.chunkHash) {
 		s.chunkVer, s.chunkHash = chunk.Version, chunk.SchemaHash
+		s.emitSwapLocked(chunk)
 		changed = true
 	}
 	if changed {
@@ -128,6 +142,24 @@ func (s *Source) Refresh() error {
 		s.swaps++
 	}
 	return s.lastErr
+}
+
+// emitSwapLocked records one client-swap loop event for a model the
+// source is about to switch to. Emit itself is lock-free, so holding
+// s.mu here costs nothing; the lineage block (when present) supplies
+// the loop ID and parent version that tie the swap to its retrain
+// cycle.
+func (s *Source) emitSwapLocked(c *Cached) {
+	if s.trace == nil {
+		return
+	}
+	f := looptrace.Fields{Version: int32(c.Version)}
+	loop := ""
+	if c.Lineage != nil {
+		loop = c.Lineage.LoopID
+		f.Parent = int32(c.Lineage.ParentVersion)
+	}
+	s.trace.Emit(looptrace.KindClientSwap, c.Name, loop, f)
 }
 
 // StartPolling refreshes the source every interval on a background

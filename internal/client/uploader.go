@@ -49,6 +49,13 @@ type UploaderOptions struct {
 	// oldest pending rows are discarded first: fresh telemetry is worth
 	// more to a drift detector than stale telemetry.
 	MaxPending int
+	// Attribution (optional) supplies the model version the client is
+	// currently running and the loop ID of the retrain cycle that
+	// published it (both zero when unknown). Flush stamps them onto
+	// every batch, so the service can attribute ingested spools to the
+	// producing model version and the loop tracer can close the
+	// telemetry leg of the cycle.
+	Attribution func() (version int, loopID string)
 }
 
 // Uploader moves sampled measurements from an in-process
@@ -59,10 +66,11 @@ type UploaderOptions struct {
 // before it counts as a failure here, so the backoff only arms when the
 // whole fleet is unreachable.
 type Uploader struct {
-	c     Service
-	model string
-	rec   *telemetry.Recorder
-	max   int
+	c          Service
+	model      string
+	rec        *telemetry.Recorder
+	max        int
+	attributes func() (version int, loopID string)
 
 	mu       sync.Mutex //apollo:lockrank 12
 	pending  *dataset.Frame
@@ -80,7 +88,7 @@ func NewUploader(c Service, model string, rec *telemetry.Recorder, opts Uploader
 	if opts.MaxPending <= 0 {
 		opts.MaxPending = 16384
 	}
-	return &Uploader{c: c, model: model, rec: rec, max: opts.MaxPending}
+	return &Uploader{c: c, model: model, rec: rec, max: opts.MaxPending, attributes: opts.Attribution}
 }
 
 // Batches returns how many batches the service has accepted.
@@ -117,7 +125,11 @@ func (u *Uploader) Flush() error {
 	u.pending = nil
 	u.mu.Unlock()
 
-	err := u.c.PostTelemetry(telemetry.NewBatch(u.model, sending))
+	b := telemetry.NewBatch(u.model, sending)
+	if u.attributes != nil {
+		b.SourceVersion, b.LoopID = u.attributes()
+	}
+	err := u.c.PostTelemetry(b)
 
 	u.mu.Lock()
 	defer u.mu.Unlock()

@@ -339,17 +339,57 @@ type Envelope struct {
 	Version    int
 	SchemaHash string
 	Model      *Model
+	Lineage    *Lineage
+}
+
+// Lineage is the optional provenance block stamped into an envelope at
+// train/publish time: which version the model grew out of, what
+// telemetry window trained it, which drift signal fired, how the
+// champion/challenger duel went, and who trained it. The loop ID
+// correlates the envelope with the looptrace events of the retrain
+// cycle that produced it, so journals from N processes stitch into one
+// causal timeline. Every field is optional — hand-published and legacy
+// envelopes simply have no lineage — and the whole block marshals
+// deterministically (the sample-count map is sorted by encoding/json),
+// which preserves the registry's ETag-convergence invariant.
+type Lineage struct {
+	LoopID        string `json:"loop_id,omitempty"`
+	ParentVersion int    `json:"parent_version,omitempty"`
+	Trainer       string `json:"trainer,omitempty"`
+	TrainedAtNS   int64  `json:"trained_at_unix_ns,omitempty"`
+
+	// Training window: total rows and per-source sample counts
+	// (source = replica spool for collective training, "local" for a
+	// single-spool trainer).
+	WindowRows   int            `json:"window_rows,omitempty"`
+	HoldoutRows  int            `json:"holdout_rows,omitempty"`
+	SampleCounts map[string]int `json:"sample_counts,omitempty"`
+
+	// Drift trigger snapshot (empty reason for a bootstrap publish).
+	DriftReason       string  `json:"drift_reason,omitempty"`
+	DriftMispredict   float64 `json:"drift_mispredict,omitempty"`
+	DriftShift        float64 `json:"drift_shift,omitempty"`
+	DriftShiftFeature string  `json:"drift_shift_feature,omitempty"`
+
+	// Champion/challenger duel outcome on the holdout (mean predicted
+	// launch cost in ns; zero champion cost for a bootstrap publish).
+	DuelChampionNS   float64 `json:"duel_champion_ns,omitempty"`
+	DuelChallengerNS float64 `json:"duel_challenger_ns,omitempty"`
 }
 
 const envelopeFormatID = "apollo-model-envelope-v1"
 
-// envelopeJSON is the on-disk/wire form of an Envelope.
+// envelopeJSON is the on-disk/wire form of an Envelope. Lineage is a
+// trailing optional field: decoders that predate it ignore it, and
+// envelopes without it marshal byte-identically to the pre-lineage
+// format.
 type envelopeJSON struct {
-	Format     string `json:"format"`
-	Name       string `json:"name"`
-	Version    int    `json:"version"`
-	SchemaHash string `json:"schema_hash"`
-	Model      *Model `json:"model"`
+	Format     string   `json:"format"`
+	Name       string   `json:"name"`
+	Version    int      `json:"version"`
+	SchemaHash string   `json:"schema_hash"`
+	Model      *Model   `json:"model"`
+	Lineage    *Lineage `json:"lineage,omitempty"`
 }
 
 // WrapModel builds the envelope for a model published under name at the
@@ -370,6 +410,7 @@ func (e *Envelope) MarshalJSON() ([]byte, error) {
 		Version:    e.Version,
 		SchemaHash: hash,
 		Model:      e.Model,
+		Lineage:    e.Lineage,
 	})
 }
 
@@ -394,6 +435,7 @@ func (e *Envelope) UnmarshalJSON(data []byte) error {
 	e.Version = j.Version
 	e.SchemaHash = j.Model.SchemaHash()
 	e.Model = j.Model
+	e.Lineage = j.Lineage
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"apollo/internal/looptrace"
 	"apollo/internal/metrics"
 )
 
@@ -20,6 +21,9 @@ type HealthOptions struct {
 	FailAfter int
 	// Logf receives up/down transitions (default: discard).
 	Logf func(format string, args ...any)
+	// Trace (optional) receives ring-evict / ring-readmit loop events on
+	// membership transitions (Peer = replica ID). Nil disables emission.
+	Trace *looptrace.Tracer
 }
 
 // Membership is what the checker drives: the hash ring (or anything
@@ -39,6 +43,7 @@ type Health struct {
 	hc    *http.Client
 	after int
 	logf  func(format string, args ...any)
+	trace *looptrace.Tracer
 
 	mu       sync.Mutex //apollo:lockrank 16
 	failures map[string]int
@@ -67,6 +72,7 @@ func NewHealth(peers []Peer, ring Membership, opts HealthOptions) *Health {
 		hc:       opts.HTTPClient,
 		after:    opts.FailAfter,
 		logf:     opts.Logf,
+		trace:    opts.Trace,
 		failures: map[string]int{},
 		down:     map[string]bool{},
 	}
@@ -122,6 +128,7 @@ func (h *Health) markUp(p Peer) {
 	delete(h.down, p.ID)
 	h.mu.Unlock()
 	if wasDown {
+		h.trace.Emit(looptrace.KindRingReadmit, "", "", looptrace.Fields{Peer: p.ID})
 		h.logf("fleet: replica %s recovered, rejoining ring", p.ID)
 	}
 	h.ring.Add(p.ID)
@@ -138,6 +145,7 @@ func (h *Health) markDown(p Peer) {
 	h.mu.Unlock()
 	if evict {
 		h.evictions.Add(1)
+		h.trace.Emit(looptrace.KindRingEvict, "", "", looptrace.Fields{Peer: p.ID})
 		h.logf("fleet: replica %s failed %d probes, leaving ring", p.ID, h.after)
 		h.ring.Remove(p.ID)
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"apollo/internal/looptrace"
 	"apollo/internal/metrics"
 	"apollo/internal/registry"
 )
@@ -23,6 +24,10 @@ type SyncerOptions struct {
 	HTTPClient *http.Client
 	// Logf receives pull/skip diagnostics (default: discard).
 	Logf func(format string, args ...any)
+	// Trace (optional) receives one sync-pull loop event per model
+	// pulled from a peer, correlated with the retrain cycle via the
+	// pulled envelope's lineage block. Nil disables emission.
+	Trace *looptrace.Tracer
 }
 
 // Syncer is the delta model-distribution half of the fleet layer: it
@@ -41,6 +46,7 @@ type Syncer struct {
 	peers []Peer
 	hc    *http.Client
 	logf  func(format string, args ...any)
+	trace *looptrace.Tracer
 
 	mu     sync.Mutex //apollo:lockrank 17
 	stopFn func()
@@ -65,6 +71,7 @@ func NewSyncer(reg *registry.Registry, peers []Peer, opts SyncerOptions) *Syncer
 		peers: append([]Peer(nil), peers...),
 		hc:    opts.HTTPClient,
 		logf:  opts.Logf,
+		trace: opts.Trace,
 	}
 }
 
@@ -145,6 +152,7 @@ func (s *Syncer) syncPeer(p Peer) (int, error) {
 // honors the envelope's own (ahead) version, so the version number — and
 // with deterministic marshaling, the ETag — carries over unchanged.
 func (s *Syncer) pull(p Peer, m peerModel) error {
+	start := time.Now()
 	resp, err := s.hc.Get(p.Base + "/models/" + m.Name)
 	if err != nil {
 		return err
@@ -163,6 +171,14 @@ func (s *Syncer) pull(p Peer, m peerModel) error {
 		return err
 	}
 	s.pulls.Add(1)
+	loop, parent := "", 0
+	if e.Lineage != nil {
+		loop, parent = e.Lineage.LoopID, e.Lineage.ParentVersion
+	}
+	s.trace.Emit(looptrace.KindSyncPull, e.Name, loop, looptrace.Fields{
+		Version: int32(e.Version), Parent: int32(parent),
+		DurNS: float64(time.Since(start)), Peer: p.ID,
+	})
 	s.logf("fleet: pulled %s v%d from %s", e.Name, e.Version, p.ID)
 	return nil
 }

@@ -266,6 +266,23 @@ func (r *Recorder) Dropped() uint64 { return r.dropped.Load() }
 // Capacity returns the total ring capacity in records.
 func (r *Recorder) Capacity() int { return len(r.shards) * (int(r.ringMask) + 1) }
 
+// Occupancy reports how many ring slots hold live records in each shard
+// (capped at the shard capacity — the ring wraps, so a position past
+// capacity means the shard is full, not overfull). Metrics exporters
+// poll it; the plain loads race benignly with writers.
+func (r *Recorder) Occupancy() []int {
+	out := make([]int, len(r.shards))
+	capacity := int(r.ringMask) + 1
+	for i := range r.shards {
+		used := int(r.shards[i].buf.Load().pos.Load())
+		if used > capacity {
+			used = capacity
+		}
+		out[i] = used
+	}
+	return out
+}
+
 // SiteKnown reports whether the site has been registered. It is the
 // hot-path gate in front of the cold RegisterSite call.
 //

@@ -1,0 +1,338 @@
+package looptrace
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Emit is //apollo:hotpath — the tuner/client path calls it on every
+// model swap and telemetry flush — so the steady-state emit must not
+// allocate, including the nil-tracer no-op.
+func TestEmitAllocationFree(t *testing.T) {
+	tr := New("test", Options{Capacity: 1 << 14})
+	f := Fields{Version: 2, Parent: 1, Rows: 64, Peer: "r1"}
+	allocs := testing.AllocsPerRun(500, func() {
+		tr.Emit(KindClientSwap, "lulesh/policy", "L0123456789abcdef-00000001", f)
+	})
+	if allocs != 0 {
+		t.Errorf("Emit allocates %.1f objects per call, want 0", allocs)
+	}
+	var nilTr *Tracer
+	allocs = testing.AllocsPerRun(100, func() {
+		nilTr.Emit(KindClientSwap, "lulesh/policy", "", f)
+	})
+	if allocs != 0 {
+		t.Errorf("nil-tracer Emit allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// A full ring drops rather than blocking, the counters account for
+// every emit, and draining frees slots for new events.
+func TestRingDropAndDrain(t *testing.T) {
+	tr := New("test", Options{Capacity: 8})
+	for i := 0; i < 12; i++ {
+		tr.Emit(KindPublish, "m", "L1", Fields{Version: int32(i + 1)})
+	}
+	if got := tr.Emitted(); got != 8 {
+		t.Errorf("emitted %d, want 8", got)
+	}
+	if got := tr.Dropped(); got != 4 {
+		t.Errorf("dropped %d, want 4", got)
+	}
+	events := tr.Snapshot()
+	if len(events) != 8 {
+		t.Fatalf("snapshot has %d events, want 8", len(events))
+	}
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) || ev.Version != int32(i+1) {
+			t.Errorf("event %d: seq=%d version=%d, want %d/%d", i, ev.Seq, ev.Version, i+1, i+1)
+		}
+		if ev.ModelName() != "m" || ev.LoopID() != "L1" {
+			t.Errorf("event %d: model=%q loop=%q", i, ev.ModelName(), ev.LoopID())
+		}
+	}
+	tr.Emit(KindPublish, "m", "L1", Fields{Version: 99})
+	if got := tr.Snapshot(); len(got) != 9 || got[8].Version != 99 {
+		t.Errorf("post-drain emit not retained: %d events", len(got))
+	}
+}
+
+// Strings longer than the inline capacity truncate instead of
+// corrupting neighbors, and wall timestamps are monotone per tracer.
+func TestEventBounds(t *testing.T) {
+	tr := New("test", Options{})
+	long := strings.Repeat("x", 200)
+	tr.Emit(KindDuel, long, long, Fields{Peer: long})
+	events := tr.Snapshot()
+	if len(events) != 1 {
+		t.Fatal("no event")
+	}
+	ev := events[0]
+	if len(ev.ModelName()) != MaxModel || len(ev.LoopID()) != MaxLoop || len(ev.Peer()) != MaxPeer {
+		t.Errorf("truncation: model=%d loop=%d peer=%d", len(ev.ModelName()), len(ev.LoopID()), len(ev.Peer()))
+	}
+	now := time.Now().UnixNano()
+	if d := ev.WallNS - now; d > int64(time.Minute) || d < -int64(time.Minute) {
+		t.Errorf("wall timestamp %d is %v away from now", ev.WallNS, time.Duration(d))
+	}
+}
+
+// Concurrent emitters racing a draining consumer lose nothing that was
+// admitted: emitted == retained-or-journaled, dropped accounts for the
+// rest. Run with -race.
+func TestConcurrentEmitDrain(t *testing.T) {
+	tr := New("test", Options{Capacity: 1 << 10, Retain: 1 << 16})
+	const perG, goroutines = 500, 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var drains sync.WaitGroup
+	drains.Add(1)
+	go func() {
+		defer drains.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Flush() //nolint — test consumer
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.Emit(KindIngest, "m", "L1", Fields{Rows: 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	drains.Wait()
+	got := uint64(len(tr.Snapshot()))
+	if want := tr.Emitted(); got != want {
+		t.Errorf("retained %d events, emitted %d", got, want)
+	}
+	if tr.Emitted()+tr.Dropped() != perG*goroutines {
+		t.Errorf("emitted %d + dropped %d != %d", tr.Emitted(), tr.Dropped(), perG*goroutines)
+	}
+}
+
+// Journal round trip: events written by a flushing tracer (including a
+// reopen, which appends a second header) read back in order with the
+// actor attached.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tr := New("serve:r1", Options{})
+	if err := tr.OpenJournal(dir); err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit(KindPublish, "m", "L1", Fields{Version: 2, Parent: 1})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.OpenJournal(dir); err != nil { // restart: append mode
+		t.Fatal(err)
+	}
+	tr.Emit(KindSyncPull, "m", "L1", Fields{Version: 2, Peer: "r2", DurNS: 1e6})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := JournalPath(dir, "serve:r1")
+	if filepath.Base(path) != "loop-serve-r1.jsonl" {
+		t.Errorf("journal path %q", path)
+	}
+	events, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("read %d events, want 2", len(events))
+	}
+	if events[0].Kind != "publish" || events[0].Actor != "serve:r1" || events[0].Version != 2 {
+		t.Errorf("event 0: %+v", events[0])
+	}
+	if events[1].Kind != "sync-pull" || events[1].Peer != "r2" || events[1].DurNS != 1e6 {
+		t.Errorf("event 1: %+v", events[1])
+	}
+
+	all, err := ReadJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Errorf("dir read %d events, want 2", len(all))
+	}
+}
+
+// The background flusher journals without an explicit Flush and stops
+// cleanly on context cancel.
+func TestStartFlushes(t *testing.T) {
+	dir := t.TempDir()
+	tr := New("traind", Options{})
+	if err := tr.OpenJournal(dir); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := tr.Start(ctx, time.Millisecond)
+	tr.Emit(KindDriftFired, "m", "L1", Fields{A: 0.5, Rows: 100})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		events, err := ReadJournal(JournalPath(dir, "traind"))
+		if err == nil && len(events) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never flushed: %v %d", err, len(events))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Stitch groups by loop ID, orders cross-actor events by wall time,
+// computes stage spans, and marks the loop complete with a nonzero
+// reaction time.
+func TestStitchTimeline(t *testing.T) {
+	base := int64(1_000_000_000_000)
+	ms := func(n int64) int64 { return base + n*int64(time.Millisecond) }
+	events := []EventJSON{
+		{Kind: "client-swap", Actor: "tune", Model: "m", Loop: "L1", Version: 2, WallNS: ms(50)},
+		{Kind: "drift-fired", Actor: "traind", Model: "m", Loop: "L1", A: 0.6, Rows: 40, WallNS: ms(0)},
+		{Kind: "retrain-start", Actor: "traind", Model: "m", Loop: "L1", Parent: 1, Rows: 36, WallNS: ms(1)},
+		{Kind: "retrain-end", Actor: "traind", Model: "m", Loop: "L1", DurNS: 9e6, WallNS: ms(10)},
+		{Kind: "duel", Actor: "traind", Model: "m", Loop: "L1", A: 900, B: 400, Rows: 4, Peer: "publish", WallNS: ms(11)},
+		{Kind: "publish", Actor: "serve:r1", Model: "m", Loop: "L1", Version: 2, Parent: 1, WallNS: ms(15)},
+		{Kind: "sync-pull", Actor: "serve:r2", Model: "m", Loop: "L1", Version: 2, Peer: "r1", WallNS: ms(30)},
+		{Kind: "sync-pull", Actor: "serve:r3", Model: "m", Loop: "L1", Version: 2, Peer: "r1", WallNS: ms(40)},
+		{Kind: "ring-evict", Actor: "serve:r1", Peer: "r9", WallNS: ms(5)}, // no loop: unscoped
+	}
+	r := Stitch(events)
+	if r.Unscoped != 1 || len(r.Loops) != 1 || r.CompleteLoops != 1 {
+		t.Fatalf("unscoped=%d loops=%d complete=%d", r.Unscoped, len(r.Loops), r.CompleteLoops)
+	}
+	tl := r.Loops[0]
+	if !tl.Drift || !tl.Complete || tl.Version != 2 || tl.Parent != 1 || tl.Model != "m" {
+		t.Errorf("timeline: %+v", tl)
+	}
+	if want := float64(50 * time.Millisecond); tl.ReactionNS != want {
+		t.Errorf("reaction %.0f, want %.0f", tl.ReactionNS, want)
+	}
+	if tl.Events[0].Kind != "drift-fired" || tl.Events[len(tl.Events)-1].Kind != "client-swap" {
+		t.Errorf("events not time-ordered: first=%s last=%s", tl.Events[0].Kind, tl.Events[len(tl.Events)-1].Kind)
+	}
+	for stage, want := range map[string]float64{
+		"detect":     float64(1 * time.Millisecond),
+		"retrain":    float64(9 * time.Millisecond),
+		"publish":    float64(5 * time.Millisecond),
+		"distribute": float64(25 * time.Millisecond),
+		"swap":       float64(35 * time.Millisecond),
+		"total":      float64(50 * time.Millisecond),
+	} {
+		if got := tl.Stages[stage]; got != want {
+			t.Errorf("stage %s: %.0f, want %.0f", stage, got, want)
+		}
+	}
+	if r.Reaction.Count != 1 || r.Reaction.P50NS != tl.ReactionNS || r.Reaction.P99NS != tl.ReactionNS {
+		t.Errorf("reaction stats: %+v", r.Reaction)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteTimeline(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"drift-fired", "sync-pull", "reaction", "p99"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("timeline text missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// An open loop (no convergence signal) is reported but not counted
+// complete, and contributes no reaction sample.
+func TestStitchIncompleteLoop(t *testing.T) {
+	events := []EventJSON{
+		{Kind: "drift-fired", Actor: "traind", Model: "m", Loop: "L2", WallNS: 10},
+		{Kind: "retrain-start", Actor: "traind", Model: "m", Loop: "L2", WallNS: 20},
+	}
+	r := Stitch(events)
+	if len(r.Loops) != 1 || r.CompleteLoops != 0 || r.Reaction.Count != 0 {
+		t.Fatalf("loops=%d complete=%d reactions=%d", len(r.Loops), r.CompleteLoops, r.Reaction.Count)
+	}
+	if r.Loops[0].Complete || r.Loops[0].ReactionNS != 0 {
+		t.Errorf("incomplete loop misreported: %+v", r.Loops[0])
+	}
+}
+
+// Steady-state emit cost on the client path: ring has headroom, no
+// journal attached (the flusher drains out of band in real deployments).
+func BenchmarkEmit(b *testing.B) {
+	tr := New("bench", Options{Capacity: 1 << 16})
+	f := Fields{Version: 2, Parent: 1, Rows: 64, Peer: "r1"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(KindClientSwap, "lulesh/policy", "L0123456789abcdef-00000001", f)
+		if i&0xffff == 0xffff {
+			tr.Flush() // keep the ring from saturating into the drop path
+		}
+	}
+}
+
+// The nil-tracer no-op: what untraced processes pay at every call site.
+func BenchmarkEmitNilTracer(b *testing.B) {
+	var tr *Tracer
+	f := Fields{Version: 2, Parent: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(KindClientSwap, "lulesh/policy", "", f)
+	}
+}
+
+// Contended emit: every logical CPU hammering one ring, the worst case
+// a busy replica's ingest + sync + swap paths can produce.
+func BenchmarkEmitParallel(b *testing.B) {
+	tr := New("bench", Options{Capacity: 1 << 16})
+	f := Fields{Version: 2, Parent: 1, Rows: 64}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tr.Emit(KindIngest, "lulesh/policy", "L0123456789abcdef-00000001", f)
+		}
+	})
+}
+
+// Stitch over a fleet-scale journal: 256 loops x 8 events (drift,
+// retrain pair, duel, publish, two pulls, swap) across 5 actors.
+func BenchmarkStitch(b *testing.B) {
+	var events []EventJSON
+	for l := 0; l < 256; l++ {
+		loop := NewLoopID("m", l, int64(l+1))
+		base := int64(l) * 1000
+		for i, kind := range []Kind{KindDriftFired, KindRetrainStart, KindRetrainEnd,
+			KindDuel, KindPublish, KindSyncPull, KindSyncPull, KindClientSwap} {
+			actor := [...]string{"traind", "traind", "traind", "traind",
+				"serve:r1", "serve:r2", "serve:r3", "tune"}[i]
+			events = append(events, EventJSON{
+				Kind: kind.String(), Actor: actor, Model: "m", Loop: loop,
+				WallNS: base + int64(i)*100, Version: int32(l + 2), Parent: int32(l + 1),
+			})
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := Stitch(events)
+		if r.CompleteLoops != 256 {
+			b.Fatalf("complete loops = %d", r.CompleteLoops)
+		}
+	}
+}

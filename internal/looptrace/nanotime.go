@@ -1,0 +1,14 @@
+package looptrace
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// nanotime is the runtime's monotonic clock, the same raw vDSO read
+// internal/flight stamps decisions with. Loop events are emitted from
+// //apollo:hotpath code (the tuner/client path), where time.Now is
+// banned; the tracer instead anchors this monotonic clock to the wall
+// clock once at construction and derives wall timestamps from it.
+//
+//go:linkname nanotime runtime.nanotime
+func nanotime() int64

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -37,8 +38,9 @@ type metricsSnapshot struct {
 	gauges     map[string]map[string]*atomic.Int64  // metric -> label value -> value
 	counterLbl map[string]string                    // metric -> label name
 	gaugeLbl   map[string]string
+	histLbl    map[string]string
 	help       map[string]string
-	hists      map[string]*histogram
+	hists      map[string]map[string]*histogram // metric -> label value -> histogram
 }
 
 // histogram is a fixed-bucket latency histogram (cumulative on export,
@@ -59,8 +61,9 @@ func New() *Metrics {
 		gauges:     map[string]map[string]*atomic.Int64{},
 		counterLbl: map[string]string{},
 		gaugeLbl:   map[string]string{},
+		histLbl:    map[string]string{},
 		help:       map[string]string{},
-		hists:      map[string]*histogram{},
+		hists:      map[string]map[string]*histogram{},
 	})
 	return m
 }
@@ -153,30 +156,53 @@ var DefaultLatencyBuckets = []float64{
 	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1, 5,
 }
 
-// Observe records one observation (in seconds) into the histogram,
-// creating it with DefaultLatencyBuckets on first use.
+// Observe records one observation (in seconds) into the unlabeled
+// histogram, creating it with DefaultLatencyBuckets on first use.
 //
 //apollo:hotpath
 func (m *Metrics) Observe(metric, help string, seconds float64) {
-	h, ok := m.cur.Load().hists[metric]
-	if !ok {
-		h = m.histSlow(metric, help)
-	}
-	h.record(seconds)
+	m.ObserveLabeled(metric, "", "", help, seconds)
 }
 
-//apollo:coldpath first sight of a histogram; amortized to zero at steady state
-func (m *Metrics) histSlow(metric, help string) *histogram {
+// ObserveLabeled records one observation (in seconds) into the
+// histogram's series for the label value, mirroring CounterAdd: the
+// steady-state path is a lock-free lookup in the published snapshot,
+// and only the first sight of a metric or label value takes the writer
+// lock. labelName/labelValue may be "" for an unlabeled histogram.
+//
+//apollo:hotpath
+func (m *Metrics) ObserveLabeled(metric, labelName, labelValue, help string, seconds float64) {
+	if series, ok := m.cur.Load().hists[metric]; ok {
+		if h, ok := series[labelValue]; ok {
+			h.record(seconds)
+			return
+		}
+	}
+	m.histSlow(metric, labelName, labelValue, help).record(seconds)
+}
+
+//apollo:coldpath first sight of a histogram/label value; amortized to zero at steady state
+func (m *Metrics) histSlow(metric, labelName, labelValue, help string) *histogram {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := m.cur.Load()
-	if h, ok := s.hists[metric]; ok {
-		return h
+	if series, ok := s.hists[metric]; ok {
+		if h, ok := series[labelValue]; ok {
+			return h
+		}
 	}
 	next := s.clone()
+	series, ok := next.hists[metric]
+	if !ok {
+		series = map[string]*histogram{}
+		next.histLbl[metric] = labelName
+		next.help[metric] = help
+	} else {
+		series = cloneSeries(series)
+	}
 	h := &histogram{bounds: DefaultLatencyBuckets, counts: make([]atomic.Uint64, len(DefaultLatencyBuckets))}
-	next.hists[metric] = h
-	next.help[metric] = help
+	series[labelValue] = h
+	next.hists[metric] = series
 	m.cur.Store(next)
 	return h
 }
@@ -204,8 +230,9 @@ func (s *metricsSnapshot) clone() *metricsSnapshot {
 		gauges:     make(map[string]map[string]*atomic.Int64, len(s.gauges)+1),
 		counterLbl: make(map[string]string, len(s.counterLbl)+1),
 		gaugeLbl:   make(map[string]string, len(s.gaugeLbl)+1),
+		histLbl:    make(map[string]string, len(s.histLbl)+1),
 		help:       make(map[string]string, len(s.help)+1),
-		hists:      make(map[string]*histogram, len(s.hists)+1),
+		hists:      make(map[string]map[string]*histogram, len(s.hists)+1),
 	}
 	for k, v := range s.counters {
 		next.counters[k] = v
@@ -218,6 +245,9 @@ func (s *metricsSnapshot) clone() *metricsSnapshot {
 	}
 	for k, v := range s.gaugeLbl {
 		next.gaugeLbl[k] = v
+	}
+	for k, v := range s.histLbl {
+		next.histLbl[k] = v
 	}
 	for k, v := range s.help {
 		next.help[k] = v
@@ -275,19 +305,48 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 				return err
 			}
 		default:
-			h := s.hists[n]
 			fmt.Fprintf(w, "# TYPE %s histogram\n", n)
-			var cum uint64
-			for i, b := range h.bounds {
-				cum += h.counts[i].Load()
-				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, formatBound(b), cum)
-			}
-			cum += h.inf.Load()
-			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
-			fmt.Fprintf(w, "%s_sum %g\n", n, float64(h.sum.Load())/1e9)
-			if _, err := fmt.Fprintf(w, "%s_count %d\n", n, h.total.Load()); err != nil {
+			if err := writeHistFamily(w, n, s.histLbl[n], s.hists[n]); err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// writeHistFamily renders one histogram family, label values sorted.
+// An unlabeled series ("" label name or value) renders the classic
+// bare _bucket/_sum/_count lines; labeled series carry the label pair
+// on every line, with le last as Prometheus clients expect.
+func writeHistFamily(w io.Writer, metric, label string, series map[string]*histogram) error {
+	var keys []string
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := series[k]
+		pre := ""
+		if label != "" && k != "" {
+			pre = formatLabels(label, k) + ","
+		}
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", metric, pre, formatBound(b), cum)
+		}
+		cum += h.inf.Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", metric, pre, cum)
+		if pre == "" {
+			fmt.Fprintf(w, "%s_sum %g\n", metric, float64(h.sum.Load())/1e9)
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", metric, h.total.Load()); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", metric, formatLabels(label, k), float64(h.sum.Load())/1e9)
+		if _, err := fmt.Fprintf(w, "%s_count{%s} %d\n", metric, formatLabels(label, k), h.total.Load()); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -305,13 +364,36 @@ func writeSeries[T any](w io.Writer, metric, label string, series map[string]*T,
 		if label == "" || k == "" {
 			_, err = fmt.Fprintf(w, "%s %s\n", metric, render(series[k]))
 		} else {
-			_, err = fmt.Fprintf(w, "%s{%s=%q} %s\n", metric, label, k, render(series[k]))
+			_, err = fmt.Fprintf(w, "%s{%s} %s\n", metric, formatLabels(label, k), render(series[k]))
 		}
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// formatLabels renders one series' label pairs. A plain label name
+// yields the single pair `name="value"`. A comma-separated label name
+// (an info-series like "model,version,loop") zips with the
+// comma-separated value into one pair per part, which is how
+// multi-dimensional identity series (apollo_model_lineage) ride on the
+// single-label family maps. A part-count mismatch falls back to one
+// pair so a malformed value still renders scrapeably.
+func formatLabels(label, value string) string {
+	if !strings.Contains(label, ",") {
+		return fmt.Sprintf("%s=%q", label, value)
+	}
+	names := strings.Split(label, ",")
+	values := strings.Split(value, ",")
+	if len(names) != len(values) {
+		return fmt.Sprintf("%s=%q", names[0], value)
+	}
+	parts := make([]string, len(names))
+	for i := range names {
+		parts[i] = fmt.Sprintf("%s=%q", names[i], values[i])
+	}
+	return strings.Join(parts, ",")
 }
 
 // formatBound renders a bucket bound the way Prometheus clients expect.

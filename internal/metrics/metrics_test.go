@@ -62,6 +62,59 @@ func TestMetricsConcurrentFirstSight(t *testing.T) {
 	}
 }
 
+// Labeled histograms mirror CounterAdd: per-label-value series under
+// one family, steady-state updates allocation-free, rendered with the
+// label pair on every _bucket/_sum/_count line and le last.
+func TestLabeledHistogram(t *testing.T) {
+	m := New()
+	m.ObserveLabeled("apollo_loop_stage_seconds", "stage", "retrain", "h", 0.2)
+	m.ObserveLabeled("apollo_loop_stage_seconds", "stage", "retrain", "h", 0.3)
+	m.ObserveLabeled("apollo_loop_stage_seconds", "stage", "publish", "h", 1e-3)
+	allocs := testing.AllocsPerRun(200, func() {
+		m.ObserveLabeled("apollo_loop_stage_seconds", "stage", "retrain", "h", 0.2)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state labeled observe allocates %.1f objects, want 0", allocs)
+	}
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`apollo_loop_stage_seconds_bucket{stage="retrain",le="0.5"} 203`,
+		`apollo_loop_stage_seconds_bucket{stage="retrain",le="+Inf"} 203`,
+		`apollo_loop_stage_seconds_count{stage="retrain"} 203`,
+		`apollo_loop_stage_seconds_count{stage="publish"} 1`,
+		`apollo_loop_stage_seconds_sum{stage="publish"} 0.001`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("labeled histogram missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "apollo_loop_stage_seconds_count \n") {
+		t.Errorf("unexpected bare count line for labeled family:\n%s", out)
+	}
+}
+
+// A comma-separated label name zips with a comma-separated label value
+// into one pair per part — the info-series shape apollo_model_lineage
+// uses to carry (model, version, parent, loop) on a gauge.
+func TestMultiLabelInfoSeries(t *testing.T) {
+	m := New()
+	m.GaugeSet("apollo_model_lineage", "model,version,parent,loop",
+		"lulesh/policy,7,6,L42", "h", 1)
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `apollo_model_lineage{model="lulesh/policy",version="7",parent="6",loop="L42"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("missing %q in exposition:\n%s", want, sb.String())
+	}
+}
+
 // The runtime collector exposes goroutine, heap, and GC-pause
 // self-metrics, and consumes each completed pause exactly once across
 // repeated collects.

@@ -49,6 +49,10 @@ type Entry struct {
 	// package ctree); the serving layer's cache-miss predicts walk this,
 	// never the interpreted nodes.
 	Compiled *ctree.Tree
+	// Lineage is the provenance block stamped at train time (nil for
+	// hand-published or legacy models). It rides inside Raw, so it
+	// survives persistence, sync-pull, and client fetch unchanged.
+	Lineage *core.Lineage
 	// Raw is the canonical envelope JSON as persisted and served.
 	Raw []byte
 }
@@ -171,12 +175,20 @@ func (r *Registry) Len() int { return len(*r.byName.Load()) }
 
 // Publish registers a new version of the model under name, persisting it
 // when the registry is disk-backed, and returns the new entry.
+func (r *Registry) Publish(name string, m *core.Model) (*Entry, error) {
+	return r.PublishLineage(name, m, nil)
+}
+
+// PublishLineage is Publish with a provenance block: lin (optional) is
+// stamped into the persisted envelope, so the model's origin — parent
+// version, training window, drift trigger, duel outcome, loop ID —
+// travels with the artifact to every replica and client.
 //
 //apollo:lockok publishes are rare and intentionally serialized under r.mu so the disk and in-memory views can never diverge
-func (r *Registry) Publish(name string, m *core.Model) (*Entry, error) {
+func (r *Registry) PublishLineage(name string, m *core.Model, lin *core.Lineage) (*Entry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.publishLocked(name, 0, m)
+	return r.publishLocked(name, 0, m, lin)
 }
 
 // PublishRaw registers data, which must parse as a model or an envelope.
@@ -192,12 +204,12 @@ func (r *Registry) PublishRaw(name string, data []byte) (*Entry, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.publishLocked(name, env.Version, env.Model)
+	return r.publishLocked(name, env.Version, env.Model, env.Lineage)
 }
 
 // publishLocked assigns max(wantVersion, current+1) and swaps the entry
 // in. Callers hold r.mu.
-func (r *Registry) publishLocked(name string, wantVersion int, m *core.Model) (*Entry, error) {
+func (r *Registry) publishLocked(name string, wantVersion int, m *core.Model, lin *core.Lineage) (*Entry, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, err
 	}
@@ -218,7 +230,9 @@ func (r *Registry) publishLocked(name string, wantVersion int, m *core.Model) (*
 	if err != nil {
 		return nil, fmt.Errorf("registry: publishing %q: %w", name, err)
 	}
-	raw, err := core.WrapModel(name, version, m).MarshalJSON()
+	env := core.WrapModel(name, version, m)
+	env.Lineage = lin
+	raw, err := env.MarshalJSON()
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +244,7 @@ func (r *Registry) publishLocked(name string, wantVersion int, m *core.Model) (*
 		SchemaHash: m.SchemaHash(),
 		Model:      m,
 		Compiled:   ct,
+		Lineage:    lin,
 		Raw:        raw,
 	}
 	if r.dir != "" {
@@ -396,6 +411,7 @@ func (r *Registry) scan() (int, error) {
 			SchemaHash: env.Model.SchemaHash(),
 			Model:      env.Model,
 			Compiled:   ct,
+			Lineage:    env.Lineage,
 			Raw:        data,
 		})
 		loaded++

@@ -30,6 +30,7 @@ import (
 
 	"apollo/internal/ctree"
 	"apollo/internal/flight"
+	"apollo/internal/looptrace"
 	"apollo/internal/metrics"
 	"apollo/internal/registry"
 	"apollo/internal/telemetry"
@@ -44,11 +45,12 @@ const decisionCacheCap = 8192
 
 // Server wires a registry to HTTP handlers plus a metrics set.
 type Server struct {
-	reg *registry.Registry
-	met *metrics.Metrics
-	rc  *metrics.RuntimeCollector
-	fl  *flight.Recorder
-	mux *http.ServeMux
+	reg   *registry.Registry
+	met   *metrics.Metrics
+	rc    *metrics.RuntimeCollector
+	fl    *flight.Recorder
+	trace *looptrace.Tracer // nil = loop events off
+	mux   *http.ServeMux
 
 	cacheMu sync.RWMutex //apollo:lockrank 20
 	// decision memo: ETag + vector bytes -> predicted class.
@@ -114,6 +116,7 @@ func (s *Server) NoteReload(n int) {
 		if e, ok := s.reg.Get(name); ok {
 			s.met.GaugeSet("apollo_model_version", "model", name,
 				"Current registry version of each model.", int64(e.Version))
+			s.noteLineage(e)
 		}
 	}
 }
@@ -204,10 +207,29 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		"Models published via PUT, by model.", 1)
 	s.met.GaugeSet("apollo_model_version", "model", name,
 		"Current registry version of each model.", int64(e.Version))
+	s.noteLineage(e)
+	loop, parent := "", 0
+	if e.Lineage != nil {
+		loop, parent = e.Lineage.LoopID, e.Lineage.ParentVersion
+	}
+	s.trace.Emit(looptrace.KindPublish, e.Name, loop,
+		looptrace.Fields{Version: int32(e.Version), Parent: int32(parent)})
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("ETag", e.ETag)
 	w.WriteHeader(http.StatusCreated)
 	s.writeJSON(w, "models_put", info(e))
+}
+
+// noteLineage publishes the provenance info-series for an entry whose
+// envelope carried a lineage block: a constant-1 gauge whose labels say
+// which loop produced the version and which version it replaced.
+func (s *Server) noteLineage(e *registry.Entry) {
+	if e.Lineage == nil {
+		return
+	}
+	s.met.GaugeSet("apollo_model_lineage", "model,version,parent,loop",
+		fmt.Sprintf("%s,%d,%d,%s", e.Name, e.Version, e.Lineage.ParentVersion, e.Lineage.LoopID),
+		"Model provenance info-series: the loop that trained each published version and the parent it replaced.", 1)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -457,6 +479,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.rc.Collect() // refresh goroutine/heap/GC-pause self-metrics
+	s.collectFlight()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.noteWriteError("metrics", s.met.WritePrometheus(w))
+}
+
+// collectFlight snapshots the flight recorder's counters into the
+// metrics set on each scrape (the recorder is the source of truth; the
+// gauges mirror its monotonic counters, matching how other components'
+// counters are exported here).
+func (s *Server) collectFlight() {
+	s.met.GaugeSet("apollo_flight_emitted_total", "", "",
+		"Decision records committed to the flight recorder.", int64(s.fl.Emitted()))
+	s.met.GaugeSet("apollo_flight_drops_total", "", "",
+		"Flight-recorder reservations dropped on slot collisions.", int64(s.fl.Dropped()))
+	for i, used := range s.fl.Occupancy() {
+		s.met.GaugeSet("apollo_flight_ring_used", "shard", strconv.Itoa(i),
+			"Live records in each flight-recorder ring shard.", int64(used))
+	}
 }

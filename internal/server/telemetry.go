@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"apollo/internal/looptrace"
 	"apollo/internal/telemetry"
 )
 
@@ -24,6 +25,17 @@ type Option func(*Server)
 func WithTelemetryDir(dir string) Option {
 	return func(s *Server) { s.telemetryDir = dir }
 }
+
+// WithLoopTrace routes the server's closed-loop events — model publishes
+// and attributed telemetry ingests — through tr, correlating them with
+// the retrain cycle that produced the model (via envelope lineage and
+// batch attribution). A nil tracer leaves loop tracing off.
+func WithLoopTrace(tr *looptrace.Tracer) Option {
+	return func(s *Server) { s.trace = tr }
+}
+
+// LoopTrace returns the server's loop tracer (nil when tracing is off).
+func (s *Server) LoopTrace() *looptrace.Tracer { return s.trace }
 
 // TelemetryDir returns the spool root ("" when ingestion is disabled).
 func (s *Server) TelemetryDir() string { return s.telemetryDir }
@@ -115,6 +127,10 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		"Telemetry batches ingested, by model.", 1)
 	s.met.CounterAdd("apollo_telemetry_rows_total", "model", b.Model,
 		"Telemetry sample rows ingested, by model.", uint64(len(b.Rows)))
+	// Attribute the spooled rows to the model version (and loop) that
+	// produced them; an unattributed batch still traces, just unscoped.
+	s.trace.Emit(looptrace.KindIngest, b.Model, b.LoopID,
+		looptrace.Fields{Version: int32(b.SourceVersion), Rows: int64(len(b.Rows))})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	s.writeJSON(w, "telemetry", map[string]any{"rows": len(b.Rows), "spooled": sp.Appended()})

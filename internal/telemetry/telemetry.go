@@ -216,6 +216,15 @@ type Batch struct {
 	SchemaHash string      `json:"schema_hash"`
 	Columns    []string    `json:"columns"`
 	Rows       [][]float64 `json:"rows"`
+
+	// SourceVersion and LoopID attribute the batch to the model version
+	// the client was running when it captured these rows, and to the
+	// retrain cycle that published that version (from the model's
+	// lineage block). Both are optional batch-level metadata — the spool
+	// column layout is fixed per spool, so attribution rides beside the
+	// rows, not inside them — and old services ignore them.
+	SourceVersion int    `json:"source_version,omitempty"`
+	LoopID        string `json:"loop_id,omitempty"`
 }
 
 // NewBatch assembles a batch from a drained frame.

@@ -22,6 +22,7 @@ import (
 	"apollo/internal/dataset"
 	"apollo/internal/drift"
 	"apollo/internal/features"
+	"apollo/internal/looptrace"
 	"apollo/internal/registry"
 )
 
@@ -46,6 +47,23 @@ type Publisher interface {
 	Publish(name string, m *core.Model) (int, error)
 }
 
+// LineagePublisher is the provenance-aware extension of Publisher: a
+// publish that also carries the lineage block describing how the model
+// was produced. The trainer type-asserts for it so plain Publisher
+// implementations (test fakes, older embeddings) keep working — they
+// just publish without provenance.
+type LineagePublisher interface {
+	PublishLineage(name string, m *core.Model, lin *core.Lineage) (int, error)
+}
+
+// publish routes through PublishLineage when the publisher supports it.
+func publish(p Publisher, name string, m *core.Model, lin *core.Lineage) (int, error) {
+	if lp, ok := p.(LineagePublisher); ok && lin != nil {
+		return lp.PublishLineage(name, m, lin)
+	}
+	return p.Publish(name, m)
+}
+
 // NewClientPublisher publishes through a model-service client.
 func NewClientPublisher(c *client.Client) Publisher { return clientPublisher{c} }
 
@@ -66,6 +84,10 @@ func (p clientPublisher) Publish(name string, m *core.Model) (int, error) {
 	return p.c.Push(name, m)
 }
 
+func (p clientPublisher) PublishLineage(name string, m *core.Model, lin *core.Lineage) (int, error) {
+	return p.c.PushLineage(name, m, lin)
+}
+
 // NewRegistryPublisher publishes straight into an in-process registry.
 func NewRegistryPublisher(reg *registry.Registry) Publisher { return registryPublisher{reg} }
 
@@ -81,6 +103,14 @@ func (p registryPublisher) Champion(name string) (*core.Model, int, error) {
 
 func (p registryPublisher) Publish(name string, m *core.Model) (int, error) {
 	e, err := p.reg.Publish(name, m)
+	if err != nil {
+		return 0, err
+	}
+	return e.Version, nil
+}
+
+func (p registryPublisher) PublishLineage(name string, m *core.Model, lin *core.Lineage) (int, error) {
+	e, err := p.reg.PublishLineage(name, m, lin)
 	if err != nil {
 		return 0, err
 	}
@@ -122,6 +152,14 @@ type Config struct {
 	Train core.TrainConfig
 	// Logf receives progress lines (default: discard).
 	Logf func(format string, args ...any)
+	// ID names this trainer in lineage blocks (default "trainer"); a
+	// daemon sets it to something host-unique so a published model says
+	// which process produced it.
+	ID string
+	// Trace (optional) receives loop events — drift-fired,
+	// retrain-start/end, duel, publish — correlated by the loop ID the
+	// step mints when drift fires. A nil tracer disables emission.
+	Trace *looptrace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +177,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.ID == "" {
+		c.ID = "trainer"
 	}
 	return c
 }
@@ -165,6 +206,18 @@ type Result struct {
 	// Vetoed reports that a fleet incumbent (Config.Incumbents) beat the
 	// challenger on the holdout, blocking the publish.
 	Vetoed bool
+	// LoopID identifies the retrain cycle this step started ("" when no
+	// retrain ran); ParentVersion is the champion version the cycle
+	// replaces (0 on bootstrap). Both are stamped into the published
+	// model's lineage block.
+	LoopID        string
+	ParentVersion int
+	// RetrainNS, DuelNS, and PublishNS are wall durations of the step's
+	// stages (0 when the stage did not run), for the daemon's
+	// apollo_loop_stage_seconds histograms.
+	RetrainNS float64
+	DuelNS    float64
+	PublishNS float64
 }
 
 // Trainer drives the retrain loop for one model.
@@ -251,7 +304,7 @@ func (t *Trainer) Step() (*Result, error) {
 		return res, nil
 	}
 
-	champion, _, err := t.pub.Champion(t.cfg.Name)
+	champion, champVer, err := t.pub.Champion(t.cfg.Name)
 	if err != nil {
 		return nil, fmt.Errorf("trainer: reading champion %s: %w", t.cfg.Name, err)
 	}
@@ -259,25 +312,37 @@ func (t *Trainer) Step() (*Result, error) {
 		// Bootstrap: no local champion to defend, ship the first model —
 		// unless a fleet incumbent already beats it, in which case the
 		// syncer pulling that incumbent is the better bootstrap.
+		res.LoopID = looptrace.NewLoopID(t.cfg.Name, 0, time.Now().UnixNano())
+		t.emit(looptrace.KindRetrainStart, res.LoopID, looptrace.Fields{Rows: int64(set.Len())})
+		trainStart := time.Now()
 		m, err := core.Train(set, t.cfg.Train)
 		if err != nil {
 			return nil, fmt.Errorf("trainer: bootstrap train: %w", err)
 		}
+		res.RetrainNS = float64(time.Since(trainStart))
 		t.retrains.Add(1)
 		res.Retrained = true
+		t.emit(looptrace.KindRetrainEnd, res.LoopID,
+			looptrace.Fields{Rows: int64(set.Len()), DurNS: res.RetrainNS})
 		if by, incNS := t.incumbentVeto(drift.PredictedTimeNS(m, set), set); by != "" {
 			t.vetoes.Add(1)
 			res.Vetoed = true
+			t.emit(looptrace.KindDuel, res.LoopID,
+				looptrace.Fields{Peer: "veto", A: incNS, Rows: int64(set.Len())})
 			t.cfg.Logf("trainer: %s: bootstrap vetoed by fleet incumbent %s (%.0fns)", t.cfg.Name, by, incNS)
 			return res, nil
 		}
-		v, err := t.pub.Publish(t.cfg.Name, m)
+		pubStart := time.Now()
+		v, err := publish(t.pub, t.cfg.Name, m, t.lineage(res, set.Len(), 0, nil))
 		if err != nil {
 			return nil, fmt.Errorf("trainer: bootstrap publish: %w", err)
 		}
+		res.PublishNS = float64(time.Since(pubStart))
 		t.publishes.Add(1)
 		t.det.SetBaseline(drift.SnapshotSet(set))
 		res.Published, res.Version = true, v
+		t.emit(looptrace.KindPublish, res.LoopID,
+			looptrace.Fields{Version: int32(v), DurNS: res.PublishNS})
 		t.cfg.Logf("trainer: bootstrapped %s v%d from %d vectors", t.cfg.Name, v, set.Len())
 		return res, nil
 	}
@@ -288,19 +353,39 @@ func (t *Trainer) Step() (*Result, error) {
 	}
 	t.triggers.Add(1)
 	res.Trigger = trig
+	res.LoopID = looptrace.NewLoopID(t.cfg.Name, champVer, time.Now().UnixNano())
+	res.ParentVersion = champVer
+	t.emit(looptrace.KindDriftFired, res.LoopID, looptrace.Fields{
+		Parent: int32(champVer), Rows: int64(trig.Rows),
+		A: trig.MispredictRate, B: trig.Shift,
+	})
 	t.cfg.Logf("trainer: %s: %s", t.cfg.Name, trig)
 
 	trainSet, holdout := split(set, t.cfg.Holdout, t.cfg.Seed)
+	t.emit(looptrace.KindRetrainStart, res.LoopID,
+		looptrace.Fields{Parent: int32(champVer), Rows: int64(trainSet.Len())})
+	trainStart := time.Now()
 	challenger, err := core.Train(trainSet, t.cfg.Train)
 	if err != nil {
 		return nil, fmt.Errorf("trainer: retrain: %w", err)
 	}
+	res.RetrainNS = float64(time.Since(trainStart))
 	t.retrains.Add(1)
 	res.Retrained = true
+	t.emit(looptrace.KindRetrainEnd, res.LoopID,
+		looptrace.Fields{Parent: int32(champVer), Rows: int64(trainSet.Len()), DurNS: res.RetrainNS})
+	duelStart := time.Now()
 	res.ChampionNS = drift.PredictedTimeNS(champion, holdout)
 	res.ChallengerNS = drift.PredictedTimeNS(challenger, holdout)
+	res.DuelNS = float64(time.Since(duelStart))
+	duel := looptrace.Fields{
+		Parent: int32(champVer), Rows: int64(holdout.Len()), DurNS: res.DuelNS,
+		A: res.ChampionNS, B: res.ChallengerNS,
+	}
 	if res.ChallengerNS > res.ChampionNS*(1+t.cfg.MaxRegression) {
 		t.rejects.Add(1)
+		duel.Peer = "reject"
+		t.emit(looptrace.KindDuel, res.LoopID, duel)
 		t.cfg.Logf("trainer: %s: challenger rejected (%.0fns vs champion %.0fns on %d holdout vectors)",
 			t.cfg.Name, res.ChallengerNS, res.ChampionNS, holdout.Len())
 		return res, nil
@@ -308,20 +393,75 @@ func (t *Trainer) Step() (*Result, error) {
 	if by, incNS := t.incumbentVeto(res.ChallengerNS, holdout); by != "" {
 		t.vetoes.Add(1)
 		res.Vetoed = true
+		duel.Peer = "veto"
+		t.emit(looptrace.KindDuel, res.LoopID, duel)
 		t.cfg.Logf("trainer: %s: challenger vetoed by fleet incumbent %s (%.0fns vs challenger %.0fns)",
 			t.cfg.Name, by, incNS, res.ChallengerNS)
 		return res, nil
 	}
-	v, err := t.pub.Publish(t.cfg.Name, challenger)
+	duel.Peer = "publish"
+	t.emit(looptrace.KindDuel, res.LoopID, duel)
+	pubStart := time.Now()
+	v, err := publish(t.pub, t.cfg.Name, challenger, t.lineage(res, trainSet.Len(), holdout.Len(), trig))
 	if err != nil {
 		return nil, fmt.Errorf("trainer: publish: %w", err)
 	}
+	res.PublishNS = float64(time.Since(pubStart))
 	t.publishes.Add(1)
 	t.det.SetBaseline(drift.SnapshotSet(set))
 	res.Published, res.Version = true, v
+	t.emit(looptrace.KindPublish, res.LoopID,
+		looptrace.Fields{Version: int32(v), Parent: int32(champVer), DurNS: res.PublishNS})
 	t.cfg.Logf("trainer: published %s v%d (%.0fns vs champion %.0fns on %d holdout vectors)",
 		t.cfg.Name, v, res.ChallengerNS, res.ChampionNS, holdout.Len())
 	return res, nil
+}
+
+// emit routes one loop event for this trainer's model through the
+// configured tracer (a no-op without one).
+func (t *Trainer) emit(kind looptrace.Kind, loop string, f looptrace.Fields) {
+	t.cfg.Trace.Emit(kind, t.cfg.Name, loop, f)
+}
+
+// RowSourcer is implemented by cursors that can attribute their rows to
+// upstream sources (fleet.MergedCursor reports cumulative rows per
+// replica spool); lineage sample counts use it when available.
+type RowSourcer interface {
+	SourceRows() map[string]uint64
+}
+
+// lineage assembles the provenance block for a model about to publish.
+func (t *Trainer) lineage(res *Result, windowRows, holdoutRows int, trig *drift.Trigger) *core.Lineage {
+	lin := &core.Lineage{
+		LoopID:        res.LoopID,
+		ParentVersion: res.ParentVersion,
+		Trainer:       t.cfg.ID,
+		TrainedAtNS:   time.Now().UnixNano(),
+		WindowRows:    windowRows,
+		HoldoutRows:   holdoutRows,
+	}
+	if rs, ok := t.cursor.(RowSourcer); ok {
+		counts := rs.SourceRows()
+		if len(counts) > 0 {
+			lin.SampleCounts = make(map[string]int, len(counts))
+			for src, n := range counts {
+				lin.SampleCounts[src] = int(n)
+			}
+		}
+	} else {
+		lin.SampleCounts = map[string]int{"local": windowRows}
+	}
+	if trig != nil {
+		lin.DriftReason = trig.Reason
+		lin.DriftMispredict = trig.MispredictRate
+		lin.DriftShift = trig.Shift
+		lin.DriftShiftFeature = trig.ShiftFeature
+		lin.DuelChampionNS = res.ChampionNS
+		lin.DuelChallengerNS = res.ChallengerNS
+	} else {
+		lin.DriftReason = "bootstrap"
+	}
+	return lin
 }
 
 // incumbentVeto scores every fleet incumbent's champion on eval and
